@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Set ``NICE_BENCH_LARGE=1`` to run the larger problem sizes (pings=4 for the
+Table 1 / Figure 6 workloads).  The defaults keep the full benchmark suite
+within a few minutes on a laptop while still exhibiting every trend the
+paper reports.
+"""
+
+import os
+
+import pytest
+
+
+def large_runs_enabled() -> bool:
+    return os.environ.get("NICE_BENCH_LARGE", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def ping_sizes():
+    """Ping counts for exhaustive-search benchmarks."""
+    return (2, 3, 4) if large_runs_enabled() else (2, 3)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render a result table to stdout (captured by pytest -s / tee)."""
+    widths = [len(h) for h in header]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    line = " | ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in text_rows:
+        print(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,128 @@
+"""Figure 6: relative state-space reduction of the heuristic strategies.
+
+The paper plots, for 2-5 pings, the *relative reduction* in explored
+transitions and CPU time of NO-DELAY and FLOW-IR versus the full NICE-MC
+search ("about factor of four for three pings"; UNUSUAL omitted there as
+similar).  Reproduction targets:
+
+* both heuristics explore strictly fewer transitions than NICE-MC;
+* the reduction is substantial (>2x) from 3 pings on;
+* combined with the canonical switch model the overall reduction vs
+  NO-SWITCH-REDUCTION reaches an order of magnitude ("28-fold for three
+  pings" in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import nice, scenarios
+from repro.config import NiceConfig
+
+from .conftest import print_table
+
+STRATEGIES = ("PKT-SEQ", "NO-DELAY", "FLOW-IR", "UNUSUAL")
+
+
+def run_search(pings: int, strategy: str, canonical: bool = True):
+    config = NiceConfig(strategy=strategy, canonical_flow_tables=canonical)
+    scenario = scenarios.ping_experiment(pings=pings, config=config)
+    return nice.run(scenario)
+
+
+@pytest.fixture(scope="module")
+def fig6_results(ping_sizes):
+    results = {}
+    for pings in ping_sizes:
+        results[pings] = {
+            strategy: run_search(pings, strategy) for strategy in STRATEGIES
+        }
+    return results
+
+
+def test_fig6_report(fig6_results):
+    rows = []
+    for pings, by_strategy in sorted(fig6_results.items()):
+        base = by_strategy["PKT-SEQ"]
+        for strategy in STRATEGIES[1:]:
+            result = by_strategy[strategy]
+            rows.append([
+                pings,
+                strategy,
+                result.transitions_executed,
+                f"{1 - result.transitions_executed / base.transitions_executed:.2f}",
+                f"{1 - result.wall_time / max(base.wall_time, 1e-9):.2f}",
+            ])
+        rows.append([pings, "PKT-SEQ (full)", base.transitions_executed,
+                     "0.00", "0.00"])
+    print_table(
+        "Figure 6: relative reduction vs full NICE-MC search",
+        ["pings", "strategy", "transitions", "transition reduction",
+         "CPU-time reduction"],
+        rows,
+    )
+
+
+def test_heuristics_reduce_transitions(fig6_results, ping_sizes):
+    largest = max(ping_sizes)
+    base = fig6_results[largest]["PKT-SEQ"].transitions_executed
+    for strategy in ("NO-DELAY", "FLOW-IR"):
+        reduced = fig6_results[largest][strategy].transitions_executed
+        assert reduced < base, (strategy, reduced, base)
+
+
+def test_reduction_is_substantial_at_three_pings(fig6_results, ping_sizes):
+    if 3 not in ping_sizes:
+        pytest.skip("3-ping workload disabled")
+    base = fig6_results[3]["PKT-SEQ"].transitions_executed
+    for strategy in ("NO-DELAY", "FLOW-IR"):
+        reduced = fig6_results[3][strategy].transitions_executed
+        assert base / reduced > 2, (strategy, base / reduced)
+
+
+def test_combined_reduction_vs_no_switch_reduction(fig6_results, ping_sizes):
+    """Switch model + heuristics: the paper's 28x combined claim (shape)."""
+    largest = max(p for p in ping_sizes if p >= 3) if any(
+        p >= 3 for p in ping_sizes) else max(ping_sizes)
+    nosr = run_search(largest, "PKT-SEQ", canonical=False)
+    best = min(
+        fig6_results[largest][s].transitions_executed
+        for s in ("NO-DELAY", "FLOW-IR")
+    )
+    combined = nosr.transitions_executed / best
+    print(f"\ncombined reduction at {largest} pings: "
+          f"{nosr.transitions_executed} / {best} = {combined:.1f}x")
+    assert combined > 4
+
+
+def test_unusual_reduces_on_multi_switch_topology():
+    """UNUSUAL prunes intermediate orderings among >= 3 pending control
+    channels, so its reduction shows on the three-switch TE triangle
+    (Figure 1's own example needs rule installs at several switches); the
+    two-switch ping workload never has enough concurrent installations.
+    """
+    import dataclasses
+
+    from repro import scenarios as sc
+    from repro.properties import NoForgottenPackets
+
+    results = {}
+    for strategy in ("PKT-SEQ", "UNUSUAL"):
+        scenario = sc.energy_te_scenario(
+            bug_viii=False, bug_ix=False, bug_x=False, bug_xi=False,
+            properties=[NoForgottenPackets()], polls=1,
+            config=NiceConfig(strategy=strategy))
+        results[strategy] = nice.run(scenario)
+    base = results["PKT-SEQ"].transitions_executed
+    unusual = results["UNUSUAL"].transitions_executed
+    print(f"\nUNUSUAL on TE triangle: {unusual} vs {base} transitions "
+          f"({1 - unusual / base:.2f} reduction)")
+    assert unusual < base
+
+
+@pytest.mark.benchmark(group="fig6")
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_bench_strategies_two_pings(benchmark, strategy):
+    result = benchmark.pedantic(
+        lambda: run_search(2, strategy), rounds=1, iterations=1)
+    assert result.terminated == "exhausted"

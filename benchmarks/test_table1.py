@@ -1,0 +1,124 @@
+"""Table 1: NICE-MC vs NO-SWITCH-REDUCTION on the layer-2 ping workload.
+
+Paper's numbers (transitions / unique states / CPU time, ρ over transitions):
+
+=====  ==========================  ================================  =====
+pings  NICE-MC                     NO-SWITCH-REDUCTION               ρ
+=====  ==========================  ================================  =====
+2      470 / 268 / 0.94 s          760 / 474 / 1.93 s                0.38
+3      12,801 / 5,257 / 47 s       43,992 / 20,469 / 209 s           0.71
+4      391,091 / 131,515 / 36 m    2,589,478 / 979,105 / 318 m       0.84
+5      14,052,853 / 4.1 M / 30 h   (did not finish in four days)     —
+=====  ==========================  ================================  =====
+
+Reproduction targets (the *shape*):
+
+* transitions and unique states grow roughly exponentially with pings;
+* NICE-MC explores no more transitions/states than NO-SWITCH-REDUCTION;
+* ρ > 0 and increases with the number of pings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import nice, scenarios
+from repro.config import NiceConfig
+
+from .conftest import print_table
+
+PAPER_ROWS = {
+    2: (470, 268, 760, 474, 0.38),
+    3: (12801, 5257, 43992, 20469, 0.71),
+    4: (391091, 131515, 2589478, 979105, 0.84),
+}
+
+
+def run_search(pings: int, canonical: bool):
+    config = NiceConfig(canonical_flow_tables=canonical)
+    scenario = scenarios.ping_experiment(pings=pings, config=config)
+    return nice.run(scenario)
+
+
+@pytest.fixture(scope="module")
+def table1_results(ping_sizes):
+    results = {}
+    for pings in ping_sizes:
+        results[pings] = (run_search(pings, True), run_search(pings, False))
+    return results
+
+
+def test_table1_report(table1_results):
+    rows = []
+    for pings, (mc, nosr) in sorted(table1_results.items()):
+        rho = ((nosr.transitions_executed - mc.transitions_executed)
+               / nosr.transitions_executed)
+        paper = PAPER_ROWS.get(pings)
+        rows.append([
+            pings,
+            f"{mc.transitions_executed} / {mc.unique_states}",
+            f"{mc.wall_time:.1f}s",
+            f"{nosr.transitions_executed} / {nosr.unique_states}",
+            f"{nosr.wall_time:.1f}s",
+            f"{rho:.2f}",
+            f"{paper[4]:.2f}" if paper else "-",
+        ])
+    print_table(
+        "Table 1: NICE-MC vs NO-SWITCH-REDUCTION",
+        ["pings", "NICE-MC (tr/uniq)", "time",
+         "NOSR (tr/uniq)", "time", "rho", "paper rho"],
+        rows,
+    )
+
+
+def test_growth_is_superlinear(table1_results, ping_sizes):
+    if len(ping_sizes) < 2:
+        pytest.skip("need at least two sizes")
+    sizes = sorted(table1_results)
+    ratios = []
+    for small, big in zip(sizes, sizes[1:]):
+        ratios.append(
+            table1_results[big][0].transitions_executed
+            / table1_results[small][0].transitions_executed
+        )
+    # The paper sees ~27x per added ping; anything clearly super-linear
+    # demonstrates the explosion.
+    assert all(r > 4 for r in ratios), ratios
+
+
+def test_canonical_never_explores_more(table1_results):
+    for mc, nosr in table1_results.values():
+        assert mc.transitions_executed <= nosr.transitions_executed
+        assert mc.unique_states <= nosr.unique_states
+
+
+def test_rho_positive_and_growing(table1_results):
+    sizes = sorted(table1_results)
+    rhos = []
+    for pings in sizes:
+        mc, nosr = table1_results[pings]
+        rhos.append((nosr.transitions_executed - mc.transitions_executed)
+                    / nosr.transitions_executed)
+    assert rhos[-1] > 0
+    assert rhos == sorted(rhos), f"rho should grow with pings: {rhos}"
+
+
+def test_no_violations_in_ping_workload(table1_results):
+    # Sanity: the exhaustive searches run property-free and must terminate.
+    for mc, nosr in table1_results.values():
+        assert mc.terminated == "exhausted"
+        assert nosr.terminated == "exhausted"
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_nice_mc_two_pings(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_search(2, True), rounds=1, iterations=1)
+    assert result.transitions_executed > 0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_no_switch_reduction_two_pings(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_search(2, False), rounds=1, iterations=1)
+    assert result.transitions_executed > 0

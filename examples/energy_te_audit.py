@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Audit the energy-efficient traffic-engineering application (Section 8.3).
+
+Demonstrates the part of NICE that goes beyond packets: *symbolic
+statistics*.  The application flips between energy states when link
+utilization crosses a threshold, but the model's tiny traffic volumes would
+never reach it — NICE concolically executes the statistics handler to find
+representative counter values for each handler path (``discover_stats``) and
+explores both the low- and high-load behaviors.
+
+Run with::
+
+    python examples/energy_te_audit.py
+"""
+
+from repro import nice, scenarios
+from repro.apps.energy_te import expected_path
+from repro.config import NiceConfig
+from repro.properties import NoForgottenPackets, UseCorrectRoutingTable
+
+STAGES = [
+    ("original (BUG-VIII: first packet never forwarded)",
+     dict(bug_viii=True, bug_ix=True, bug_x=True, bug_xi=True), 1),
+    ("after BUG-VIII fix (BUG-IX: race at the on-demand switch)",
+     dict(bug_viii=False, bug_ix=True, bug_x=True, bug_xi=True), 1),
+    ("after BUG-IX fix (BUG-X: every high-load flow goes on-demand)",
+     dict(bug_viii=False, bug_ix=False, bug_x=True, bug_xi=True), 1),
+    ("after BUG-X fix (BUG-XI: packets dropped when load reduces)",
+     dict(bug_viii=False, bug_ix=False, bug_x=False, bug_xi=True), 2),
+    ("all fixes applied",
+     dict(bug_viii=False, bug_ix=False, bug_x=False, bug_xi=False), 2),
+]
+
+
+def main() -> int:
+    print("Auditing REsPoNse-style traffic engineering with NICE.")
+    print("Topology: 3 switches in a triangle; the third switch lies on the "
+          "on-demand path.\n")
+
+    for description, flags, polls in STAGES:
+        scenario = scenarios.energy_te_scenario(
+            properties=[NoForgottenPackets(),
+                        UseCorrectRoutingTable(expected_path)],
+            polls=polls, **flags)
+        result = nice.run(scenario)
+        status = "VIOLATION" if result.found_violation else "clean"
+        print(f"[{status}] {description}")
+        print(f"  transitions={result.transitions_executed}, "
+              f"time={result.wall_time:.2f}s, "
+              f"discover_stats runs={result.discover_stats_runs}")
+        for violation in result.violations[:1]:
+            print(f"  -> {violation.property_name}: "
+                  f"{violation.message[:110]}")
+        expected_clean = not any(flags.values())
+        if expected_clean and result.found_violation:
+            print("unexpected: fixed variant violates")
+            return 1
+        if not expected_clean and not result.found_violation:
+            print("unexpected: bug not reproduced")
+            return 1
+        print()
+
+    print("All four bugs reproduced and all fixes verified.")
+    print("\nNote the discover_stats counts above: finding BUG-X and BUG-XI "
+          "requires the concolic engine to synthesize high-utilization "
+          "statistics that the model's real counters never reach.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

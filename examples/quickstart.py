@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: find a real bug in an unmodified controller program.
+
+This reproduces the paper's flagship result on the MAC-learning switch
+(Figure 3 / Section 8.1): NICE's combination of model checking and concolic
+execution automatically discovers that pyswitch installs a forwarding rule
+in only one direction, so after two hosts have exchanged packets both ways a
+third packet still needlessly goes to the controller — a violation of the
+StrictDirectPaths property (BUG-II).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import nice, scenarios
+from repro.apps.pyswitch_fixed import PySwitchFixed
+from repro.mc.replay import format_trace
+
+
+def main() -> int:
+    print("Testing the unmodified pyswitch application...")
+    scenario = scenarios.pyswitch_direct_path()
+    result = nice.run(scenario)
+
+    print(result.summary())
+    if not result.found_violation:
+        print("unexpected: no violation found")
+        return 1
+
+    violation = result.violations[0]
+    print(f"\nBUG-II reproduced: {violation.property_name}")
+    print(f"  {violation.message}")
+    print("\nDeterministic trace that reproduces the bug:")
+    print(format_trace(violation.trace))
+
+    # Every violation comes with a replayable trace (Section 6).
+    replayed = nice.replay(scenario, violation.trace,
+                           expected_hash=violation.state_hash)
+    print(f"\nreplay verified: final state {replayed.state_hash()[:12]}... "
+          f"matches the recorded violation state")
+
+    print("\nNow testing the fixed variant (reverse rule installed first)...")
+    fixed = scenarios.pyswitch_direct_path(app_factory=PySwitchFixed)
+    result_fixed = nice.run(fixed)
+    print(result_fixed.summary())
+    if result_fixed.found_violation:
+        print("unexpected: the fixed variant still violates")
+        return 1
+    print("\nfixed variant passes StrictDirectPaths — bug gone.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""The three real applications the paper tests (Section 8), reimplemented
+faithfully from their descriptions — including the eleven bugs — plus the
+fixed variants the paper discusses.
+
+* :mod:`repro.apps.pyswitch` — MAC-learning switch (BUG-I, II, III);
+* :mod:`repro.apps.loadbalancer` — wildcard-rule web server load balancer
+  (BUG-IV, V, VI, VII);
+* :mod:`repro.apps.energy_te` — energy-efficient traffic engineering
+  (BUG-VIII, IX, X, XI).
+"""
+
+from repro.apps.pyswitch import PySwitch
+from repro.apps.pyswitch_fixed import PySwitchFixed, PySwitchSpanningTree
+from repro.apps.loadbalancer import LoadBalancer
+from repro.apps.loadbalancer_fixed import LoadBalancerFixed
+from repro.apps.energy_te import EnergyTrafficEngineering
+from repro.apps.energy_te_fixed import EnergyTrafficEngineeringFixed
+
+__all__ = [
+    "EnergyTrafficEngineering",
+    "EnergyTrafficEngineeringFixed",
+    "LoadBalancer",
+    "LoadBalancerFixed",
+    "PySwitch",
+    "PySwitchFixed",
+    "PySwitchSpanningTree",
+]

@@ -1,0 +1,26 @@
+"""The traffic-engineering application with all Section 8.3 fixes applied.
+
+* BUG-VIII fix — release the triggering packet after installing the path;
+* BUG-IX fix — handle packets that surface at intermediate switches by
+  forwarding them along the flow's path;
+* BUG-X fix — abandon the cached "extra table" and choose the routing table
+  per flow (alternating under high load so flows split evenly);
+* BUG-XI fix — when the reporting switch is absent from the current paths,
+  fall back to the table recorded for the flow when it was first routed.
+"""
+
+from __future__ import annotations
+
+from repro.apps.energy_te import EnergyTrafficEngineering
+
+
+class EnergyTrafficEngineeringFixed(EnergyTrafficEngineering):
+    """All bugs disabled; see :class:`repro.apps.energy_te.
+    EnergyTrafficEngineering`."""
+
+    name = "energy_te_fixed"
+
+    def __init__(self, *args, **kwargs):
+        for flag in ("bug_viii", "bug_ix", "bug_x", "bug_xi"):
+            kwargs.setdefault(flag, False)
+        super().__init__(*args, **kwargs)

@@ -1,0 +1,24 @@
+"""The load balancer with all four Section 8.2 fixes applied.
+
+* BUG-IV fix — forward the triggering packet after installing its rule;
+* BUG-V fix — install the redirect rule before deleting the old wildcard
+  rule, and handle ``NO_MATCH`` packet-ins like any other;
+* BUG-VI fix — discard buffered ARP requests after answering them;
+* BUG-VII fix — a SYN for a flow that already has an assignment keeps it
+  (duplicate SYNs no longer re-assign the connection).
+"""
+
+from __future__ import annotations
+
+from repro.apps.loadbalancer import LoadBalancer
+
+
+class LoadBalancerFixed(LoadBalancer):
+    """All bugs disabled; see :class:`repro.apps.loadbalancer.LoadBalancer`."""
+
+    name = "loadbalancer_fixed"
+
+    def __init__(self, *args, **kwargs):
+        for flag in ("bug_iv", "bug_v", "bug_vi", "bug_vii"):
+            kwargs.setdefault(flag, False)
+        super().__init__(*args, **kwargs)

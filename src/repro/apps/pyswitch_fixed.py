@@ -1,0 +1,128 @@
+"""Fixed variants of pyswitch, as discussed in Section 8.1.
+
+* :class:`PySwitchFixed` — addresses BUG-I (hard timeout so stale rules
+  expire; the paper notes this still leaves *transient* loss) and BUG-II
+  (installs the direct-path rule for the reply direction too, in the
+  *correct* order: the reverse rule first, then the packet release — the
+  paper warns the naive opposite order introduces a new race).
+* :class:`PySwitchNaiveFix` — the paper's cautionary tale: the naive BUG-II
+  fix that adds the reverse rule *after* releasing the packet, which can let
+  the reply overtake the installation and still send a packet to the
+  controller.
+* :class:`PySwitchSpanningTree` — addresses BUG-III by flooding only along a
+  spanning tree of the topology.
+"""
+
+from __future__ import annotations
+
+from repro.controller.api import OUTPUT
+from repro.apps.pyswitch import PySwitch
+from repro.openflow.actions import ActionOutput
+from repro.openflow.match import DL_DST, DL_SRC, DL_TYPE, IN_PORT
+from repro.openflow.rules import PERMANENT
+from repro.topo.spanning_tree import spanning_tree_ports
+
+
+class PySwitchFixed(PySwitch):
+    """Hard-timeout rules + bidirectional install in the safe order."""
+
+    name = "pyswitch_fixed"
+
+    def __init__(self, soft_timer: int = 5, hard_timer: int = 30):
+        super().__init__(soft_timer=soft_timer, hard_timer=hard_timer)
+
+    def packet_in(self, api, sw_id, inport, pkt, bufid, reason):
+        mactable = self.ctrl_state[sw_id]
+        is_bcast_src = pkt.src[0] & 1
+        is_bcast_dst = pkt.dst[0] & 1
+        if not is_bcast_src:
+            mactable[pkt.src] = inport
+        if (not is_bcast_dst) and (pkt.dst in mactable):
+            outport = mactable[pkt.dst]
+            if outport != inport:
+                # The correct BUG-II fix: install the rule for the *other*
+                # direction (traffic that will answer this packet) before
+                # releasing the packet that triggers the answer.
+                reverse = {DL_SRC: pkt.dst, DL_DST: pkt.src,
+                           DL_TYPE: pkt.type, IN_PORT: outport}
+                api.install_rule(sw_id, reverse, [OUTPUT, inport],
+                                 soft_timer=self.soft_timer,
+                                 hard_timer=self.hard_timer)
+                match = {DL_SRC: pkt.src, DL_DST: pkt.dst,
+                         DL_TYPE: pkt.type, IN_PORT: inport}
+                api.install_rule(sw_id, match, [OUTPUT, outport],
+                                 soft_timer=self.soft_timer,
+                                 hard_timer=self.hard_timer)
+                api.send_packet_out(sw_id, pkt, bufid)
+                return
+        api.flood_packet(sw_id, pkt, bufid)
+
+
+class PySwitchNaiveFix(PySwitch):
+    """The naive BUG-II fix: reverse rule installed *after* the release.
+
+    "Since the two rules are not installed atomically, installing the rules
+    in this order can allow the packet from B to reach A before the switch
+    installs the second rule" — still violates StrictDirectPaths.
+    """
+
+    name = "pyswitch_naive_fix"
+
+    def packet_in(self, api, sw_id, inport, pkt, bufid, reason):
+        mactable = self.ctrl_state[sw_id]
+        is_bcast_src = pkt.src[0] & 1
+        is_bcast_dst = pkt.dst[0] & 1
+        if not is_bcast_src:
+            mactable[pkt.src] = inport
+        if (not is_bcast_dst) and (pkt.dst in mactable):
+            outport = mactable[pkt.dst]
+            if outport != inport:
+                match = {DL_SRC: pkt.src, DL_DST: pkt.dst,
+                         DL_TYPE: pkt.type, IN_PORT: inport}
+                api.install_rule(sw_id, match, [OUTPUT, outport],
+                                 soft_timer=self.soft_timer,
+                                 hard_timer=self.hard_timer)
+                api.send_packet_out(sw_id, pkt, bufid)
+                reverse = {DL_SRC: pkt.dst, DL_DST: pkt.src,
+                           DL_TYPE: pkt.type, IN_PORT: outport}
+                api.install_rule(sw_id, reverse, [OUTPUT, inport],
+                                 soft_timer=self.soft_timer,
+                                 hard_timer=self.hard_timer)
+                return
+        api.flood_packet(sw_id, pkt, bufid)
+
+
+class PySwitchSpanningTree(PySwitch):
+    """Floods only along a spanning tree: the BUG-III fix."""
+
+    name = "pyswitch_stp"
+
+    def __init__(self, soft_timer: int = 5, hard_timer: int = PERMANENT):
+        super().__init__(soft_timer=soft_timer, hard_timer=hard_timer)
+        self.flood_ports: dict = {}
+
+    def boot(self, api, topo):
+        self.flood_ports = {
+            sw: sorted(ports) for sw, ports in spanning_tree_ports(topo).items()
+        }
+
+    def packet_in(self, api, sw_id, inport, pkt, bufid, reason):
+        mactable = self.ctrl_state[sw_id]
+        is_bcast_src = pkt.src[0] & 1
+        is_bcast_dst = pkt.dst[0] & 1
+        if not is_bcast_src:
+            mactable[pkt.src] = inport
+        if (not is_bcast_dst) and (pkt.dst in mactable):
+            outport = mactable[pkt.dst]
+            if outport != inport:
+                match = {DL_SRC: pkt.src, DL_DST: pkt.dst,
+                         DL_TYPE: pkt.type, IN_PORT: inport}
+                api.install_rule(sw_id, match, [OUTPUT, outport],
+                                 soft_timer=self.soft_timer,
+                                 hard_timer=self.hard_timer)
+                api.send_packet_out(sw_id, pkt, bufid)
+                return
+        # Spanning-tree flood: explicit per-port outputs along tree ports.
+        tree_ports = self.flood_ports.get(sw_id, [])
+        actions = [ActionOutput(port) for port in tree_ports if port != inport]
+        api.send_packet_out(sw_id, pkt, bufid, actions=actions or [])

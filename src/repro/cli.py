@@ -1,0 +1,148 @@
+"""Command-line front end.
+
+``nice run`` executes a predefined scenario (the paper's experiments are all
+available by name), prints the search statistics, and dumps the violation
+traces; ``nice walk`` performs a random walk; ``nice replay`` re-executes a
+previously saved trace.
+
+Examples::
+
+    nice run pyswitch-direct-path
+    nice run loadbalancer --strategy NO-DELAY --max-transitions 50000
+    nice run ping --pings 3 --no-canonical
+    nice walk energy-te --steps 500 --seed 7
+    nice list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import nice, scenarios
+from repro.config import ALL_STRATEGIES, NiceConfig
+from repro.mc.replay import format_trace
+
+#: Scenario name -> builder (keyword arguments forwarded where sensible).
+SCENARIOS = {
+    "ping": scenarios.ping_experiment,
+    "pyswitch-mobile": scenarios.pyswitch_mobile,
+    "pyswitch-direct-path": scenarios.pyswitch_direct_path,
+    "pyswitch-loop": scenarios.pyswitch_loop,
+    "loadbalancer": scenarios.loadbalancer_scenario,
+    "energy-te": scenarios.energy_te_scenario,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nice",
+        description="NICE: systematic testing of OpenFlow controller programs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="model-check a scenario")
+    run_p.add_argument("scenario", choices=sorted(SCENARIOS))
+    run_p.add_argument("--strategy", choices=ALL_STRATEGIES,
+                       default="PKT-SEQ")
+    run_p.add_argument("--pings", type=int, default=2,
+                       help="ping pairs (ping scenario only)")
+    run_p.add_argument("--max-transitions", type=int, default=None)
+    run_p.add_argument("--max-pkt-sequence", type=int, default=2)
+    run_p.add_argument("--max-outstanding", type=int, default=1)
+    run_p.add_argument("--no-canonical", action="store_true",
+                       help="disable the canonical switch representation "
+                            "(NO-SWITCH-REDUCTION)")
+    run_p.add_argument("--no-state-matching", action="store_true")
+    run_p.add_argument("--all-violations", action="store_true",
+                       help="keep searching after the first violation")
+    run_p.add_argument("--trace", action="store_true",
+                       help="print the violation trace(s)")
+    run_p.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    walk_p = sub.add_parser("walk", help="random walk on system states")
+    walk_p.add_argument("scenario", choices=sorted(SCENARIOS))
+    walk_p.add_argument("--steps", type=int, default=200)
+    walk_p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list available scenarios")
+    return parser
+
+
+def make_config(args) -> NiceConfig:
+    return NiceConfig(
+        strategy=args.strategy,
+        max_pkt_sequence=args.max_pkt_sequence,
+        max_outstanding=args.max_outstanding,
+        canonical_flow_tables=not args.no_canonical,
+        state_matching=not args.no_state_matching,
+        max_transitions=args.max_transitions,
+        stop_at_first_violation=not args.all_violations,
+    )
+
+
+def build_scenario(name: str, args, config: NiceConfig | None):
+    builder = SCENARIOS[name]
+    if name == "ping":
+        return builder(pings=getattr(args, "pings", 2), config=config)
+    return builder(config=config)
+
+
+def cmd_run(args) -> int:
+    config = make_config(args)
+    scenario = build_scenario(args.scenario, args, config)
+    result = nice.run(scenario)
+    if args.json:
+        payload = {
+            "scenario": scenario.name,
+            "strategy": config.strategy,
+            "transitions": result.transitions_executed,
+            "unique_states": result.unique_states,
+            "wall_time": result.wall_time,
+            "violations": [
+                {"property": v.property_name, "message": v.message,
+                 "trace_length": len(v.trace)}
+                for v in result.violations
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"scenario : {scenario.name}")
+        print(f"strategy : {config.strategy}")
+        print(result.summary())
+        if args.trace:
+            for index, violation in enumerate(result.violations):
+                print(f"\n--- trace of violation {index} "
+                      f"({violation.property_name}) ---")
+                print(format_trace(violation.trace))
+    return 1 if result.found_violation else 0
+
+
+def cmd_walk(args) -> int:
+    scenario = build_scenario(args.scenario, args, None)
+    result = nice.random_walk(scenario, steps=args.steps, seed=args.seed)
+    print(result.summary())
+    return 1 if result.found_violation else 0
+
+
+def cmd_list() -> int:
+    for name in sorted(SCENARIOS):
+        print(name)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "walk":
+        return cmd_walk(args)
+    if args.command == "list":
+        return cmd_list()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Configuration objects for NICE searches.
+
+:class:`NiceConfig` gathers every tunable the paper mentions: the search
+order, the PKT-SEQ bounds (maximum packet-sequence length and maximum
+outstanding packets per host), which heuristic strategy is active, whether
+symbolic execution is used to discover packets, and whether the canonical
+flow-table representation is enabled (disabling it gives the
+NO-SWITCH-REDUCTION baseline of Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Search strategy names accepted by :class:`NiceConfig`.
+STRATEGY_PKT_SEQ = "PKT-SEQ"
+STRATEGY_NO_DELAY = "NO-DELAY"
+STRATEGY_UNUSUAL = "UNUSUAL"
+STRATEGY_FLOW_IR = "FLOW-IR"
+
+ALL_STRATEGIES = (
+    STRATEGY_PKT_SEQ,
+    STRATEGY_NO_DELAY,
+    STRATEGY_UNUSUAL,
+    STRATEGY_FLOW_IR,
+)
+
+#: Frontier policies for the model-checking loop.
+ORDER_DFS = "dfs"
+ORDER_BFS = "bfs"
+ORDER_RANDOM = "random"
+
+
+@dataclass
+class NiceConfig:
+    """All knobs for a NICE run.
+
+    Attributes mirror the paper's knobs:
+
+    * ``strategy`` — one of :data:`ALL_STRATEGIES`.  PKT-SEQ is the default
+      and is always active as a bound; the other three are heuristics layered
+      on top of it (Section 4).
+    * ``max_pkt_sequence`` — PKT-SEQ bound on the number of packets each end
+      host may send (the depth of the send tree).
+    * ``max_outstanding`` — PKT-SEQ bound on the packet burst (the counter
+      ``c`` in the paper; replenished by one for every packet received).
+    * ``use_symbolic_execution`` — when True, hosts gain the
+      ``discover_packets`` transition and the controller gains
+      ``discover_stats`` (Figure 5); when False, hosts only send packets from
+      a user-provided concrete list (used for the Table 1 / Figure 6 ping
+      experiments, which run with symbolic execution turned off).
+    * ``canonical_flow_tables`` — canonical switch-state representation
+      (Section 2.2.2).  False reproduces NO-SWITCH-REDUCTION.
+    * ``state_matching`` — store hashes of visited states and prune repeats.
+    * ``max_paths`` — budget for concolic path exploration per handler call.
+    * ``search_order`` — dfs (paper default), bfs, or random walk.
+    * ``max_transitions`` / ``max_depth`` — hard safety bounds for bounded
+      searches; ``None`` means unbounded.
+    * ``stop_at_first_violation`` — Table 2 measures transitions/time to the
+      *first* violation, so that mode is first-class.
+    * ``enable_rule_timeouts`` — model rule expiry as explicit transitions
+      (off by default; see DESIGN.md substitution table).
+    * ``channel_faults`` — enable the optional drop/duplicate/reorder fault
+      model on packet channels (off by default, as in the paper's
+      NoBlackHoles experiments).
+    * ``seed`` — seed for the random-walk frontier.
+    """
+
+    strategy: str = STRATEGY_PKT_SEQ
+    max_pkt_sequence: int = 2
+    max_outstanding: int = 1
+    use_symbolic_execution: bool = True
+    canonical_flow_tables: bool = True
+    state_matching: bool = True
+    max_paths: int = 64
+    search_order: str = ORDER_DFS
+    max_transitions: int | None = None
+    max_depth: int | None = None
+    stop_at_first_violation: bool = True
+    enable_rule_timeouts: bool = False
+    channel_faults: bool = False
+    #: Include rule hit counters and port statistics in the state hash.
+    #: The paper's simplified switch model does not carry counters, so two
+    #: states differing only in counter values are the same state.  Enable
+    #: for applications whose behavior depends on statistics (the energy-
+    #: aware traffic-engineering app), where merging across counter values
+    #: would be unsound.
+    hash_counters: bool = False
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ALL_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; expected one of {ALL_STRATEGIES}"
+            )
+        if self.search_order not in (ORDER_DFS, ORDER_BFS, ORDER_RANDOM):
+            raise ValueError(f"unknown search order {self.search_order!r}")
+        if self.max_pkt_sequence < 0:
+            raise ValueError("max_pkt_sequence must be >= 0")
+        if self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+        if self.max_paths < 1:
+            raise ValueError("max_paths must be >= 1")

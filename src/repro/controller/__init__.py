@@ -1,0 +1,35 @@
+"""The NOX-like controller platform.
+
+The paper tests unmodified Python applications written for the NOX
+controller.  This package provides the equivalent platform surface: an
+:class:`~repro.controller.app.App` base class whose handlers mirror NOX's
+event API (``packet_in``, ``switch_join``, ``switch_leave``,
+``port_stats_in``, ...) and a :class:`~repro.controller.api.ControllerAPI`
+with the calls the paper's applications use (``install_rule``,
+``send_packet_out``, ``flood_packet``, statistics queries).
+
+Handlers execute atomically — one handler invocation is one model-checking
+transition (Section 2.2.1).
+"""
+
+from repro.controller.api import (
+    ControllerAPI,
+    LiveControllerAPI,
+    RecordingControllerAPI,
+    DROP,
+    FLOOD,
+    OUTPUT,
+)
+from repro.controller.app import App
+from repro.controller.runtime import ControllerRuntime
+
+__all__ = [
+    "App",
+    "ControllerAPI",
+    "ControllerRuntime",
+    "DROP",
+    "FLOOD",
+    "LiveControllerAPI",
+    "OUTPUT",
+    "RecordingControllerAPI",
+]

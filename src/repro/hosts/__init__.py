@@ -1,0 +1,19 @@
+"""End-host models (Section 2.2.3).
+
+NICE provides simple programs that act as clients or servers: the default
+client has ``send`` (executable C times) and ``receive`` transitions; the
+default server has ``receive`` and ``send_reply`` (enabled by the former);
+the mobile host adds a ``move`` transition.  Users can subclass
+:class:`~repro.hosts.base.Host` to customize behavior.
+"""
+
+from repro.hosts.arp import ArpClient
+from repro.hosts.base import Host
+from repro.hosts.client import Client
+from repro.hosts.mobile import MobileHost
+from repro.hosts.ping import PingResponder
+from repro.hosts.server import EchoServer, Server
+from repro.hosts.tcp import TcpLikeClient
+
+__all__ = ["ArpClient", "Client", "EchoServer", "Host", "MobileHost",
+           "PingResponder", "Server", "TcpLikeClient"]

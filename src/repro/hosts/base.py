@@ -1,0 +1,174 @@
+"""Base host model.
+
+A host owns:
+
+* an **inbox** — the FIFO channel from its switch port; the ``receive``
+  transition pops one packet;
+* a **script** — an ordered list of packets to send proactively (the concrete
+  alternative to symbolic-execution-discovered packets);
+* **pending replies** — packets queued by :meth:`on_receive`, each sent by a
+  separate ``send`` transition (the paper's server model: ``send_reply`` is
+  enabled by ``receive``);
+* the PKT-SEQ bookkeeping: ``sent_count`` (bounded by the strategy's maximum
+  sequence length) and the burst counter ``c`` (decremented per send,
+  replenished by one for every received packet — Section 4, PKT-SEQ).
+
+Subclasses override :meth:`on_receive` for reactive behavior.  All state must
+stay plain-Python so the model checker can deep-copy and canonically
+serialize it.
+"""
+
+from __future__ import annotations
+
+from repro.openflow.packet import MacAddress, Packet
+
+
+class Host:
+    """A generic end host."""
+
+    def __init__(self, name: str, mac: MacAddress, ip: int,
+                 script: list[Packet] | None = None):
+        self.name = name
+        self.mac = mac
+        self.ip = ip
+        self.script: list[Packet] = list(script or [])
+        #: When True (default) scripted packets go out in order; when False
+        #: every unsent scripted packet is a concurrently-enabled ``send``
+        #: transition (the "concurrent pings" workload of Section 7).
+        self.ordered_script = True
+        self.inbox: list[Packet] = []
+        self.received: list[Packet] = []
+        self.pending: list[Packet] = []
+        self.script_done: set[int] = set()
+        self.reply_sent = 0
+        self.sym_sent = 0
+        #: Per-header-signature send counts; the system derives packet uids
+        #: from these so identity is independent of global event order.
+        self.send_sig_counts: dict[str, int] = {}
+        #: When True and symbolic execution is enabled, the search gives this
+        #: host ``discover_packets``-derived send transitions (Figure 4/5).
+        self.symbolic_client = False
+        #: PKT-SEQ burst counter; the system sets the initial value from
+        #: ``NiceConfig.max_outstanding``.
+        self.counter_c = 1
+
+    @property
+    def script_sent(self) -> int:
+        return len(self.script_done)
+
+    @property
+    def sent_count(self) -> int:
+        """Total packets sent, over all three send sources."""
+        return self.script_sent + self.reply_sent + self.sym_sent
+
+    # ------------------------------------------------------------------
+    # Receive
+    # ------------------------------------------------------------------
+
+    def can_receive(self) -> bool:
+        return bool(self.inbox)
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the system when the switch emits toward this host."""
+        self.inbox.append(packet)
+
+    def receive(self) -> Packet:
+        """Pop one packet: record it, replenish the burst counter, queue replies."""
+        packet = self.inbox.pop(0)
+        self.received.append(packet)
+        self.counter_c += 1
+        replies = self.on_receive(packet)
+        if replies:
+            self.pending.extend(replies)
+        return packet
+
+    def on_receive(self, packet: Packet) -> list[Packet]:
+        """Hook: return reply packets to queue.  Default: none."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Send
+    # ------------------------------------------------------------------
+
+    def can_send_more(self, max_pkt_sequence: int) -> bool:
+        """PKT-SEQ gate: burst counter available and sequence bound not hit."""
+        return self.counter_c > 0 and self.sent_count < max_pkt_sequence
+
+    def send_candidates(self, max_pkt_sequence: int) -> list[tuple[str, int]]:
+        """Enumerate the concrete send transitions enabled right now.
+
+        Returns descriptors: ``("script", index)`` for the next scripted
+        packet, ``("pending", 0)`` for the head queued reply.  Scripted sends
+        happen in order; replies are FIFO.  Respects the PKT-SEQ bounds.
+        (Symbolically-discovered sends are enumerated by the search loop.)
+        """
+        if not self.can_send_more(max_pkt_sequence):
+            return []
+        candidates: list[tuple[str, int]] = []
+        if self.ordered_script:
+            if self.script_sent < len(self.script):
+                candidates.append(("script", self.script_sent))
+        else:
+            for index in range(len(self.script)):
+                if index not in self.script_done:
+                    candidates.append(("script", index))
+        if self.pending:
+            candidates.append(("pending", 0))
+        return candidates
+
+    def take_send(self, descriptor: tuple[str, int]) -> Packet:
+        """Consume a send: return the packet template and update counters."""
+        kind, index = descriptor
+        if kind == "script":
+            if index in self.script_done:
+                raise ValueError(f"script packet {index} already sent")
+            packet = self.script[index].copy()
+            self.script_done.add(index)
+        elif kind == "pending":
+            packet = self.pending.pop(index)
+            self.reply_sent += 1
+        else:
+            raise ValueError(f"unknown send descriptor {descriptor!r}")
+        self.counter_c -= 1
+        return packet
+
+    def take_send_sym(self, packet: Packet) -> Packet:
+        """Consume a send of a symbolically-discovered packet."""
+        self.sym_sent += 1
+        self.counter_c -= 1
+        return packet.copy()
+
+    # ------------------------------------------------------------------
+    # Mobility / serialization
+    # ------------------------------------------------------------------
+
+    def move_targets(self) -> list[tuple[str, int]]:
+        """Locations this host may still move to (mobile hosts override)."""
+        return []
+
+    def take_move(self) -> tuple[str, int]:
+        raise NotImplementedError("base hosts do not move")
+
+    def canonical(self) -> tuple:
+        return (
+            self.name,
+            self.mac.canonical(),
+            self.ip,
+            # The inbox and pending replies are FIFO queues — order is real
+            # behavior.  The received record is history: which packets
+            # arrived matters (properties read it), the order they arrived
+            # in does not, so it is serialized as a sorted multiset to let
+            # equivalent interleavings hash together.
+            tuple(p.canonical() for p in self.inbox),
+            tuple(sorted((p.canonical() for p in self.received), key=repr)),
+            tuple(p.canonical() for p in self.pending),
+            tuple(sorted(self.script_done)),
+            self.reply_sent,
+            self.sym_sent,
+            self.counter_c,
+            tuple(sorted(self.send_sig_counts.items())),
+        )
+
+    def __repr__(self):
+        return (f"{type(self).__name__}({self.name}, sent={self.sent_count},"
+                f" recv={len(self.received)}, c={self.counter_c})")

@@ -1,0 +1,23 @@
+"""The default client model.
+
+Two basic transitions (Section 2.2.3): ``send`` — initially enabled, can
+execute C times — and ``receive``, plus the counter of sent packets.  In
+concrete mode the packets come from the script; in symbolic mode the search
+loop feeds the client representative packets discovered by concolic
+execution of the ``packet_in`` handler.
+"""
+
+from __future__ import annotations
+
+from repro.hosts.base import Host
+from repro.openflow.packet import MacAddress, Packet
+
+
+class Client(Host):
+    """A host that proactively sends its scripted packets and collects replies."""
+
+    def __init__(self, name: str, mac: MacAddress, ip: int,
+                 script: list[Packet] | None = None,
+                 symbolic_client: bool = True):
+        super().__init__(name, mac, ip, script=script)
+        self.symbolic_client = symbolic_client

@@ -1,0 +1,35 @@
+"""The mobile host model.
+
+Section 2.2.3: "A more realistic refinement of this model is the mobile host
+that includes the ``move`` transition that moves the host to a new
+<switch, port> location."  BUG-I (host unreachable after moving) needs it.
+"""
+
+from __future__ import annotations
+
+from repro.hosts.base import Host
+from repro.openflow.packet import MacAddress, Packet
+
+
+class MobileHost(Host):
+    """A host with a list of locations it may move through, in order."""
+
+    def __init__(self, name: str, mac: MacAddress, ip: int,
+                 moves: list[tuple[str, int]],
+                 script: list[Packet] | None = None):
+        super().__init__(name, mac, ip, script=script)
+        self.moves: list[tuple[str, int]] = list(moves)
+        self.move_index = 0
+
+    def move_targets(self) -> list[tuple[str, int]]:
+        if self.move_index < len(self.moves):
+            return [self.moves[self.move_index]]
+        return []
+
+    def take_move(self) -> tuple[str, int]:
+        target = self.moves[self.move_index]
+        self.move_index += 1
+        return target
+
+    def canonical(self) -> tuple:
+        return super().canonical() + (self.move_index, tuple(self.moves))

@@ -1,0 +1,27 @@
+"""The layer-2 ping responder used by the Section 7 performance experiments.
+
+"Host A sends a 'layer-2 ping' packet to host B which replies with a packet
+to A."  The responder queues one pong per received ping; each pong goes out
+through a separate ``send`` transition so the model checker explores reply
+orderings.
+"""
+
+from __future__ import annotations
+
+from repro.hosts.base import Host
+from repro.openflow.packet import Packet, l2_pong
+
+
+class PingResponder(Host):
+    """Replies to every received ping with a layer-2 pong.
+
+    Replies to any payload tagged ``ping*`` regardless of destination MAC, so
+    the multi-flow ping workload (each concurrent ping uses its own MAC
+    pair, making the exchanges independent flows) needs only one responder
+    host.  Pongs are never answered, so no reply loops can form.
+    """
+
+    def on_receive(self, packet: Packet) -> list[Packet]:
+        if not str(packet.payload).startswith("ping"):
+            return []
+        return [l2_pong(packet)]

@@ -1,0 +1,53 @@
+"""Server host models.
+
+The default server (Section 2.2.3) has ``receive`` and ``send_reply``
+transitions, the latter enabled by the former.  :class:`Server` answers TCP
+segments addressed to it with an ACK back to the sender (enough to complete
+the handshakes the load-balancer scenarios need); :class:`EchoServer`
+answers any packet by swapping addresses.
+"""
+
+from __future__ import annotations
+
+from repro.hosts.base import Host
+from repro.openflow.packet import (
+    ETH_TYPE_IP,
+    IPPROTO_TCP,
+    Packet,
+    TCP_ACK,
+    TCP_SYN,
+    tcp_packet,
+)
+
+
+class Server(Host):
+    """Replies to TCP packets for its own IP: SYN -> SYN+ACK, data -> ACK."""
+
+    def on_receive(self, packet: Packet) -> list[Packet]:
+        if packet.eth_type != ETH_TYPE_IP or packet.nw_proto != IPPROTO_TCP:
+            return []
+        if packet.ip_dst != self.ip:
+            return []
+        flags = TCP_SYN | TCP_ACK if packet.tcp_flags & TCP_SYN else TCP_ACK
+        reply = tcp_packet(
+            src=self.mac,
+            dst=packet.eth_src,
+            ip_src=self.ip,
+            ip_dst=packet.ip_src,
+            tp_src=packet.tp_dst,
+            tp_dst=packet.tp_src,
+            flags=flags,
+        )
+        return [reply]
+
+
+class EchoServer(Host):
+    """Replies to every received packet by swapping Ethernet/IP addresses."""
+
+    def on_receive(self, packet: Packet) -> list[Packet]:
+        reply = packet.copy()
+        reply.hops = []
+        reply.eth_src, reply.eth_dst = self.mac, packet.eth_src
+        reply.ip_src, reply.ip_dst = packet.ip_dst, packet.ip_src
+        reply.tp_src, reply.tp_dst = packet.tp_dst, packet.tp_src
+        return [reply]

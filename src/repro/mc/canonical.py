@@ -1,0 +1,47 @@
+"""Canonical serialization and hashing of system states.
+
+Section 6: "State-matching is done by comparing and storing hashes of the
+explored states.  To create state hashes, NICE serializes the state via the
+cPickle module and applies the built-in hash function."
+
+Pickle output depends on dict insertion order, so this module instead builds
+a *canonical* nested-tuple form — dict items sorted, sets sorted, and model
+objects contributing their own ``canonical()`` methods — and hashes its
+stable text rendering.  The same logical state always hashes identically,
+regardless of the event order that produced its containers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def canonicalize(obj):
+    """Convert ``obj`` into a deterministic, hashable nested-tuple form."""
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    canonical = getattr(obj, "canonical", None)
+    if callable(canonical):
+        return canonicalize(canonical())
+    if isinstance(obj, dict):
+        items = [(canonicalize(k), canonicalize(v)) for k, v in obj.items()]
+        items.sort(key=lambda kv: repr(kv[0]))
+        return ("dict",) + tuple(items)
+    if isinstance(obj, (list, tuple)):
+        return tuple(canonicalize(item) for item in obj)
+    if isinstance(obj, (set, frozenset)):
+        items = sorted((canonicalize(item) for item in obj), key=repr)
+        return ("set",) + tuple(items)
+    if hasattr(obj, "__dict__"):
+        return ("obj", type(obj).__name__, canonicalize(vars(obj)))
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def state_string(obj) -> str:
+    """Stable text rendering of the canonical form."""
+    return repr(canonicalize(obj))
+
+
+def state_hash(obj) -> str:
+    """Compact digest of the canonical form, for the explored-state set."""
+    return hashlib.md5(state_string(obj).encode()).hexdigest()

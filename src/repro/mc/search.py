@@ -1,0 +1,280 @@
+"""The state-space search algorithm of Figure 5.
+
+The searcher extends the basic model-checking loop with the two "discover"
+mechanisms: on reaching a state whose *controller* state has not been seen
+by a given client, it concolically executes the ``packet_in`` handler to
+find the relevant packets for that client (one per handler code path) and
+enables a ``send`` transition for each; likewise, a pending statistics reply
+triggers concolic execution of the statistics handler to find representative
+stats values (``discover_stats``).
+
+Implementation note (documented in DESIGN.md): discovery runs *eagerly* when
+a state is expanded rather than as an explicit stack transition.  The two
+formulations explore the same reachable states — a discover transition
+changes no system state, so as a stack entry it would only introduce
+self-loop bookkeeping — and the eager form keeps the explored-state set free
+of duplicate entries.  Discovery results are cached by (client, controller
+state hash), exactly the ``client.packets[state(ctrl)]`` map of Figure 5.
+
+Checkpointing uses deep copies by default; a recorded trace (the transition
+path) deterministically replays to the same state, which is how violations
+are reported and reproduced (Section 6).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.config import NiceConfig, ORDER_BFS, ORDER_DFS, ORDER_RANDOM
+from repro.errors import PropertyViolation, SearchError
+from repro.mc import transitions as tk
+from repro.mc.strategies import Strategy, make_strategy
+from repro.mc.system import System
+from repro.mc.transitions import Transition
+from repro.openflow.messages import StatsReply
+
+
+class Violation:
+    """One property violation plus the trace that deterministically
+    reproduces it from the initial state."""
+
+    def __init__(self, property_name: str, message: str,
+                 trace: tuple[Transition, ...], state_hash: str,
+                 transitions_at_detection: int):
+        self.property_name = property_name
+        self.message = message
+        self.trace = trace
+        self.state_hash = state_hash
+        self.transitions_at_detection = transitions_at_detection
+
+    def __repr__(self):
+        return (f"Violation({self.property_name}: {self.message!r},"
+                f" trace length {len(self.trace)})")
+
+
+class SearchResult:
+    """Everything a search run measured."""
+
+    def __init__(self):
+        self.violations: list[Violation] = []
+        self.transitions_executed = 0
+        self.unique_states = 0
+        self.revisited_states = 0
+        self.quiescent_states = 0
+        self.discover_packet_runs = 0
+        self.discover_stats_runs = 0
+        self.wall_time = 0.0
+        self.terminated = "exhausted"
+
+    @property
+    def found_violation(self) -> bool:
+        return bool(self.violations)
+
+    def summary(self) -> str:
+        lines = [
+            f"transitions executed : {self.transitions_executed}",
+            f"unique states        : {self.unique_states}",
+            f"revisited states     : {self.revisited_states}",
+            f"quiescent states     : {self.quiescent_states}",
+            f"discover_packets runs: {self.discover_packet_runs}",
+            f"discover_stats runs  : {self.discover_stats_runs}",
+            f"wall time            : {self.wall_time:.2f}s",
+            f"terminated           : {self.terminated}",
+            f"violations           : {len(self.violations)}",
+        ]
+        for violation in self.violations[:5]:
+            lines.append(f"  - {violation.property_name}: {violation.message}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"SearchResult(transitions={self.transitions_executed},"
+                f" unique={self.unique_states},"
+                f" violations={len(self.violations)})")
+
+
+class Searcher:
+    """Figure 5's model-checking loop."""
+
+    def __init__(self, system_factory, properties: list, config: NiceConfig,
+                 strategy: Strategy | None = None, discoverer=None):
+        """``system_factory`` builds and boots a fresh initial System;
+        ``discoverer`` provides concolic discovery (None disables symbolic
+        execution regardless of config)."""
+        self.system_factory = system_factory
+        self.properties = list(properties)
+        self.config = config
+        self.discoverer = discoverer
+        self._use_se = bool(config.use_symbolic_execution and discoverer)
+        self._strategy = strategy
+        #: client.packets map of Figure 5: (host, ctrl_hash) -> [Packet].
+        self._packet_cache: dict[tuple[str, str], list] = {}
+        #: discover_stats cache: (switch, ctrl_hash) -> [stats dict].
+        self._stats_cache: dict[tuple[str, str], list] = {}
+        self._rng = random.Random(config.seed)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SearchResult:
+        result = SearchResult()
+        start = time.perf_counter()
+        initial = self.system_factory()
+        strategy = self._strategy or make_strategy(self.config, initial.app)
+        for prop in self.properties:
+            prop.reset(initial)
+        try:
+            self._check_properties(initial, None, result, ())
+        except _StopSearch:
+            result.wall_time = time.perf_counter() - start
+            return result
+
+        explored: set[str] = {initial.state_hash()}
+        frontier: list[tuple[System, tuple[Transition, ...]]] = [(initial, ())]
+        try:
+            while frontier:
+                system, trace = self._pop(frontier)
+                enabled = self._enabled(system, strategy, result)
+                if not enabled:
+                    result.quiescent_states += 1
+                    self._check_quiescent(system, result, trace)
+                    continue
+                if (self.config.max_depth is not None
+                        and len(trace) >= self.config.max_depth):
+                    continue
+                for transition in enabled:
+                    child = system.clone()
+                    child.execute(transition)
+                    strategy.post_execute(child, transition)
+                    result.transitions_executed += 1
+                    child_trace = trace + (transition,)
+                    self._check_properties(child, transition, result, child_trace)
+                    if (self.config.max_transitions is not None
+                            and result.transitions_executed
+                            >= self.config.max_transitions):
+                        result.terminated = "max_transitions"
+                        raise _StopSearch()
+                    if self.config.state_matching:
+                        digest = child.state_hash()
+                        if digest in explored:
+                            result.revisited_states += 1
+                            continue
+                        explored.add(digest)
+                    frontier.append((child, child_trace))
+        except _StopSearch:
+            pass
+        result.unique_states = len(explored)
+        result.wall_time = time.perf_counter() - start
+        return result
+
+    def _pop(self, frontier):
+        if self.config.search_order == ORDER_DFS:
+            return frontier.pop()
+        if self.config.search_order == ORDER_BFS:
+            return frontier.pop(0)
+        if self.config.search_order == ORDER_RANDOM:
+            index = self._rng.randrange(len(frontier))
+            return frontier.pop(index)
+        raise SearchError(f"unknown search order {self.config.search_order!r}")
+
+    # ------------------------------------------------------------------
+    # Enabled transitions (base + discovery)
+    # ------------------------------------------------------------------
+
+    def _enabled(self, system: System, strategy: Strategy,
+                 result: SearchResult) -> list[Transition]:
+        enabled = system.enabled_transitions()
+        if self._use_se:
+            enabled = self._add_symbolic_sends(system, enabled, result)
+            enabled = self._substitute_stats(system, enabled, result)
+        return strategy.filter(system, enabled)
+
+    def _add_symbolic_sends(self, system, enabled, result):
+        ctrl_hash = system.controller_state_hash()
+        extra: list[Transition] = []
+        for name in sorted(system.hosts):
+            host = system.hosts[name]
+            if not getattr(host, "symbolic_client", False):
+                continue
+            if not host.can_send_more(self.config.max_pkt_sequence):
+                continue
+            key = (name, ctrl_hash)
+            if key not in self._packet_cache:
+                switch_id, port = system.host_locations[name]
+                packets = self.discoverer.discover_packets(
+                    system.app, switch_id, port, system.topo, host
+                )
+                self._packet_cache[key] = packets
+                result.discover_packet_runs += 1
+            for packet in self._packet_cache[key]:
+                extra.append(
+                    Transition(tk.HOST_SEND, name,
+                               ("sym", packet.header_tuple()),
+                               payload=packet)
+                )
+        return enabled + extra
+
+    def _substitute_stats(self, system, enabled, result):
+        """Replace plain delivery of a pending StatsReply with transitions
+        carrying symbolically-discovered representative values."""
+        ctrl_hash = system.controller_state_hash()
+        out: list[Transition] = []
+        for transition in enabled:
+            if transition.kind != tk.CTRL_HANDLE:
+                out.append(transition)
+                continue
+            switch = system.switches[transition.actor]
+            if not switch.ofp_out or not isinstance(switch.ofp_out.peek(),
+                                                    StatsReply):
+                out.append(transition)
+                continue
+            key = (transition.actor, ctrl_hash)
+            if key not in self._stats_cache:
+                reply = switch.ofp_out.peek()
+                variants = self.discoverer.discover_stats(
+                    system.app, transition.actor, reply.stats
+                )
+                self._stats_cache[key] = variants
+                result.discover_stats_runs += 1
+            variants = self._stats_cache[key]
+            if not variants:
+                out.append(transition)
+                continue
+            for index, stats in enumerate(variants):
+                out.append(
+                    Transition(tk.CTRL_STATS, transition.actor,
+                               ("stats", index), payload=stats)
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # Property checking
+    # ------------------------------------------------------------------
+
+    def _check_properties(self, system, transition, result, trace) -> None:
+        for prop in self.properties:
+            try:
+                prop.check(system, transition)
+            except PropertyViolation as violation:
+                self._record(violation, system, result, trace)
+
+    def _check_quiescent(self, system, result, trace) -> None:
+        for prop in self.properties:
+            try:
+                prop.check_quiescent(system)
+            except PropertyViolation as violation:
+                self._record(violation, system, result, trace)
+
+    def _record(self, violation: PropertyViolation, system, result, trace):
+        result.violations.append(
+            Violation(violation.property_name, violation.message, trace,
+                      system.state_hash(), result.transitions_executed)
+        )
+        if self.config.stop_at_first_violation:
+            result.terminated = "first_violation"
+            raise _StopSearch()
+
+
+class _StopSearch(Exception):
+    """Internal: unwind the search loop."""

@@ -1,0 +1,426 @@
+"""The composed system model: controller + switches + hosts + channels.
+
+A :class:`System` is the model-checker's notion of "state": a plain-Python
+object tree that can be deep-copied (checkpointing), canonically serialized
+(state matching), and advanced by executing :class:`~repro.mc.transitions.
+Transition` descriptors (always deterministically — the foundation of
+trace replay, Section 6).
+
+The system also keeps the :class:`PacketLedger`: a record of every packet
+injected, delivered, lost (forwarded out a port with nothing attached — the
+black holes of BUG-I), or dropped, which the correctness properties read.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.config import NiceConfig
+from repro.controller.api import LiveControllerAPI
+from repro.controller.runtime import ControllerRuntime
+from repro.errors import TransitionError
+from repro.mc import transitions as tk
+from repro.mc.canonical import canonicalize, state_hash
+from repro.mc.transitions import Transition
+from repro.openflow.messages import StatsReply
+from repro.openflow.packet import Packet
+from repro.openflow.switch import SwitchModel
+from repro.topo.topology import Endpoint, Topology
+
+
+class PacketLedger:
+    """System-wide accounting of packet fates."""
+
+    def __init__(self):
+        #: (uid, host) per injection.
+        self.injected: list[tuple] = []
+        #: (uid, copy_id, host) per packet consumed by a host.
+        self.delivered: list[tuple] = []
+        #: (uid, copy_id, switch, port) per packet sent into the void.
+        self.lost: list[tuple] = []
+        #: fault-model events (op, switch, port).
+        self.faults: list[tuple] = []
+        #: Ordered history of all of the above, for properties that need
+        #: happened-before information ("wait until a safe time", §5.2).
+        #: Deliberately *excluded* from canonical() — two interleavings that
+        #: reach the same network state should still hash together; the
+        #: paper's callback-local-state design has the same blind spot.
+        self.log: list[tuple] = []
+        #: Header copies of every injected packet (for FLOW-IR's
+        #: established-flow test).  Derivable from ``injected``; not hashed.
+        self.history: list[Packet] = []
+
+    def record_injected(self, packet: Packet, host: str) -> None:
+        self.injected.append((packet.uid, host))
+        self.log.append(("inj", packet.uid, host, packet.flow_key()))
+        header_copy = packet.copy()
+        header_copy.hops = []
+        self.history.append(header_copy)
+
+    def record_delivered(self, packet: Packet, host: str) -> None:
+        self.delivered.append((packet.uid, packet.copy_id, host))
+        self.log.append(("del", packet.uid, host, packet.flow_key()))
+
+    def record_lost(self, packet: Packet, switch: str, port: int) -> None:
+        self.lost.append((packet.uid, packet.copy_id, switch, port))
+        self.log.append(("lost", packet.uid, switch, port))
+
+    def record_fault(self, op: tuple, switch: str, port: int) -> None:
+        self.faults.append((op, switch, port))
+        self.log.append(("fault", op, switch, port))
+
+    def canonical(self) -> tuple:
+        return (
+            tuple(sorted(self.injected, key=repr)),
+            tuple(sorted(self.delivered, key=repr)),
+            tuple(sorted(self.lost, key=repr)),
+            tuple(sorted(self.faults, key=repr)),
+        )
+
+
+class System:
+    """One state of the whole network under test."""
+
+    def __init__(self, topo: Topology, app, hosts: list, config: NiceConfig):
+        topo.validate()
+        self.topo = topo
+        self.config = config
+        self.switches: dict[str, SwitchModel] = {}
+        for name, ports in topo.switches.items():
+            switch = SwitchModel(
+                name,
+                ports,
+                canonical_flow_tables=config.canonical_flow_tables,
+                reliable_packet_channels=not config.channel_faults,
+            )
+            switch.hash_counters = config.hash_counters
+            self.switches[name] = switch
+        self.hosts: dict[str, object] = {}
+        for host in hosts:
+            if host.name not in topo.hosts:
+                raise TransitionError(f"host {host.name!r} not in topology")
+            host.counter_c = config.max_outstanding
+            self.hosts[host.name] = host
+        #: Dynamic attachment map; mobile hosts mutate it.
+        self.attachments: dict[tuple[str, int], str] = {
+            topo.hosts[name].location: name for name in self.hosts
+        }
+        self.host_locations: dict[str, tuple[str, int]] = {
+            name: topo.hosts[name].location for name in self.hosts
+        }
+        self.runtime = ControllerRuntime(app)
+        self.ledger = PacketLedger()
+        self.events_fired: dict[str, bool] = {
+            name: False for name in app.external_events()
+        }
+        #: Issue-order stamp for controller->switch messages (UNUSUAL).
+        self.of_seq = 0
+        #: Record of the most recent controller-handler invocation:
+        #: ``{"kind", "switch", "packet", "calls"}`` where calls is the list
+        #: of API invocations the handler made.  Properties such as
+        #: UseCorrectRoutingTable inspect it right after a transition.
+        #: Ephemeral (derived from the last transition) — not hashed.
+        self.last_handler: dict | None = None
+        self._api_calls: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    @property
+    def app(self):
+        return self.runtime.app
+
+    def api(self) -> LiveControllerAPI:
+        api = LiveControllerAPI(self)
+        return _StampingAPI(api, self)
+
+    def boot(self) -> None:
+        """Deliver boot + switch-join events, then settle the control plane.
+
+        Booting synchronously applies any initial rule installations so the
+        search starts from the configured network, not from an exploration
+        of setup orderings.
+        """
+        self.runtime.boot(self.api(), self.topo, sorted(self.switches))
+        self.drain_control_plane()
+
+    # ------------------------------------------------------------------
+    # Enabled transitions
+    # ------------------------------------------------------------------
+
+    def enabled_transitions(self) -> list[Transition]:
+        """Base enabled set (the search layer adds symbolic sends/stats)."""
+        enabled: list[Transition] = []
+        for sw_id in sorted(self.switches):
+            switch = self.switches[sw_id]
+            if switch.can_process_pkt():
+                enabled.append(Transition(tk.PROCESS_PKT, sw_id))
+            if switch.can_process_of():
+                enabled.append(Transition(tk.PROCESS_OF, sw_id))
+            if self.runtime.can_handle(switch):
+                enabled.append(Transition(tk.CTRL_HANDLE, sw_id))
+            if self.config.enable_rule_timeouts:
+                for index in range(len(switch.table.expirable_rules())):
+                    enabled.append(Transition(tk.EXPIRE_RULE, sw_id, index))
+            if self.config.channel_faults:
+                for port in switch.ports:
+                    for op in switch.port_in[port].fault_operations():
+                        enabled.append(
+                            Transition(tk.CHANNEL_FAULT, sw_id, (port, op))
+                        )
+        for name in sorted(self.hosts):
+            host = self.hosts[name]
+            for descriptor in host.send_candidates(self.config.max_pkt_sequence):
+                enabled.append(Transition(tk.HOST_SEND, name, descriptor))
+            if host.can_receive():
+                enabled.append(Transition(tk.HOST_RECV, name))
+            for target in host.move_targets():
+                enabled.append(Transition(tk.HOST_MOVE, name, target))
+        for event in sorted(self.events_fired):
+            if not self.events_fired[event]:
+                enabled.append(Transition(tk.CTRL_EVENT, event))
+        return enabled
+
+    def quiescent(self) -> bool:
+        return not self.enabled_transitions()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, transition: Transition) -> None:
+        """Apply one transition; raises TransitionError if not executable."""
+        kind = transition.kind
+        if kind == tk.PROCESS_PKT:
+            switch = self._switch(transition.actor)
+            self.route(transition.actor, switch.process_pkt())
+        elif kind == tk.PROCESS_OF:
+            switch = self._switch(transition.actor)
+            self.route(transition.actor, switch.process_of())
+        elif kind == tk.CTRL_HANDLE:
+            switch = self._switch(transition.actor)
+            pending = switch.ofp_out.peek() if switch.ofp_out else None
+            self._begin_handler("ctrl_handle", transition.actor, pending)
+            self.runtime.handle_message(self.api(), switch)
+            self._end_handler()
+        elif kind == tk.CTRL_STATS:
+            self._begin_handler("ctrl_stats", transition.actor, None)
+            self._execute_ctrl_stats(transition)
+            self._end_handler()
+        elif kind == tk.CTRL_EVENT:
+            if self.events_fired.get(transition.actor, True):
+                raise TransitionError(f"event {transition.actor!r} already fired")
+            self.events_fired[transition.actor] = True
+            self._begin_handler("ctrl_event", transition.actor, None)
+            self.app.handle_event(self.api(), transition.actor)
+            self._end_handler()
+        elif kind == tk.HOST_SEND:
+            self._execute_host_send(transition)
+        elif kind == tk.HOST_RECV:
+            host = self._host(transition.actor)
+            packet = host.receive()
+            self.ledger.record_delivered(packet, transition.actor)
+        elif kind == tk.HOST_MOVE:
+            self._execute_host_move(transition)
+        elif kind == tk.EXPIRE_RULE:
+            self._switch(transition.actor).expire_rule(transition.arg)
+        elif kind == tk.CHANNEL_FAULT:
+            port, op = transition.arg
+            switch = self._switch(transition.actor)
+            switch.port_in[port].apply_fault(tuple(op))
+            self.ledger.record_fault(tuple(op), transition.actor, port)
+        else:
+            raise TransitionError(f"unknown transition kind {kind!r}")
+
+    def _execute_ctrl_stats(self, transition: Transition) -> None:
+        """Consume a pending stats reply, substituting discovered values.
+
+        The symbolic-execution layer finds representative statistics that
+        exercise each path of the stats handler (Figure 5, discover_stats);
+        this transition delivers one such representative in place of the
+        model's real counters.
+        """
+        switch = self._switch(transition.actor)
+        if not switch.ofp_out or not isinstance(switch.ofp_out.peek(), StatsReply):
+            raise TransitionError(
+                f"no pending stats reply from {transition.actor}"
+            )
+        reply = switch.ofp_out.dequeue()
+        stats = transition.payload if transition.payload is not None else reply.stats
+        self.app.port_stats_in(self.api(), transition.actor, stats, xid=reply.xid)
+
+    def _execute_host_send(self, transition: Transition) -> None:
+        host = self._host(transition.actor)
+        descriptor = transition.arg
+        if descriptor[0] == "sym":
+            if transition.payload is None:
+                raise TransitionError("symbolic send without packet payload")
+            packet = host.take_send_sym(transition.payload)
+        else:
+            packet = host.take_send(tuple(descriptor))
+        # Identity independent of global interleaving: the n-th send of a
+        # given header signature by this host always gets the same uid, so
+        # equivalent event orders still reach identical states.
+        signature = state_hash(packet.header_tuple())[:8]
+        occurrence = host.send_sig_counts.get(signature, 0)
+        host.send_sig_counts[signature] = occurrence + 1
+        packet.uid = (host.name, signature, occurrence)
+        packet.copy_id = ()
+        packet.hops = []
+        switch_id, port = self.host_locations[host.name]
+        self._switch(switch_id).port_in[port].enqueue(packet)
+        self.ledger.record_injected(packet, host.name)
+
+    def _execute_host_move(self, transition: Transition) -> None:
+        host = self._host(transition.actor)
+        target = tuple(transition.arg)
+        if target[0] not in self.switches or target[1] not in self.switches[target[0]].ports:
+            raise TransitionError(f"move target {target} is not a switch port")
+        if self.attachments.get(target) not in (None, host.name):
+            raise TransitionError(f"move target {target} is occupied")
+        old = self.host_locations[host.name]
+        host.take_move()
+        self.attachments.pop(old, None)
+        self.attachments[target] = host.name
+        self.host_locations[host.name] = target
+
+    def _begin_handler(self, kind: str, actor: str, pending_message) -> None:
+        from repro.openflow.messages import PacketIn
+
+        self._api_calls = []
+        packet = None
+        if isinstance(pending_message, PacketIn):
+            packet = pending_message.packet
+        self.last_handler = {
+            "kind": kind,
+            "actor": actor,
+            "packet": packet,
+            "calls": self._api_calls,
+        }
+
+    def _end_handler(self) -> None:
+        # last_handler already references the (now filled) call list.
+        self._api_calls = []
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route(self, sw_id: str, emissions: list[tuple[int, Packet]]) -> None:
+        """Deliver switch emissions along links; track black-holed packets."""
+        for port, packet in emissions:
+            host_name = self.attachments.get((sw_id, port))
+            if host_name is not None:
+                self.hosts[host_name].deliver(packet)
+                continue
+            endpoint = self.topo.endpoint(sw_id, port)
+            if endpoint is not None and endpoint.kind == Endpoint.KIND_SWITCH:
+                self.switches[endpoint.node].port_in[endpoint.port].enqueue(packet)
+                continue
+            # Nothing attached (loose port, or the host moved away): the
+            # packet leaves the network without reaching any destination.
+            self.ledger.record_lost(packet, sw_id, port)
+
+    def drain_control_plane(self) -> None:
+        """Run all pending control-plane work to completion, atomically.
+
+        Used at boot and by the NO-DELAY strategy (Section 4): every
+        outstanding controller<->switch message is processed in a fixed
+        deterministic order until the control plane is silent.
+        """
+        progress = True
+        while progress:
+            progress = False
+            for sw_id in sorted(self.switches):
+                switch = self.switches[sw_id]
+                while switch.can_process_of():
+                    self.route(sw_id, switch.process_of())
+                    progress = True
+                while self.runtime.can_handle(switch):
+                    self.runtime.handle_message(self.api(), switch)
+                    progress = True
+
+    # ------------------------------------------------------------------
+    # State identity / checkpointing
+    # ------------------------------------------------------------------
+
+    def canonical_state(self) -> tuple:
+        return (
+            tuple(self.switches[s].canonical() for s in sorted(self.switches)),
+            tuple(self.hosts[h].canonical() for h in sorted(self.hosts)),
+            canonicalize(self.app.state_vars()),
+            tuple(sorted(self.attachments.items())),
+            self.ledger.canonical(),
+            tuple(sorted(self.events_fired.items())),
+        )
+
+    def controller_state_hash(self) -> str:
+        """Hash of the controller state only — the discovery-cache key of
+        Figure 5 (``client.packets[state(ctrl)]``)."""
+        return state_hash(self.app.state_vars())
+
+    def state_hash(self) -> str:
+        return state_hash(self.canonical_state())
+
+    def clone(self) -> "System":
+        """Checkpoint: deep-copy mutable parts, share static topology/config."""
+        new = object.__new__(System)
+        new.topo = self.topo
+        new.config = self.config
+        new.switches = copy.deepcopy(self.switches)
+        new.hosts = copy.deepcopy(self.hosts)
+        new.runtime = ControllerRuntime(copy.deepcopy(self.runtime.app))
+        new.attachments = dict(self.attachments)
+        new.host_locations = dict(self.host_locations)
+        new.ledger = copy.deepcopy(self.ledger)
+        new.events_fired = dict(self.events_fired)
+        new.of_seq = self.of_seq
+        new.last_handler = None
+        new._api_calls = []
+        return new
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _switch(self, sw_id: str) -> SwitchModel:
+        switch = self.switches.get(sw_id)
+        if switch is None:
+            raise TransitionError(f"unknown switch {sw_id!r}")
+        return switch
+
+    def _host(self, name: str):
+        host = self.hosts.get(name)
+        if host is None:
+            raise TransitionError(f"unknown host {name!r}")
+        return host
+
+    def __repr__(self):
+        return (f"System({len(self.switches)} switches, {len(self.hosts)} hosts,"
+                f" app={type(self.app).__name__})")
+
+
+class _StampingAPI:
+    """Wraps the live API to stamp controller->switch messages with a global
+    issue sequence (consumed by the UNUSUAL strategy)."""
+
+    def __init__(self, api: LiveControllerAPI, system: System):
+        self._api = api
+        self._system = system
+
+    def __getattr__(self, name):
+        method = getattr(self._api, name)
+
+        def wrapper(sw_id, *args, **kwargs):
+            switch = self._system.switches.get(sw_id)
+            before = len(switch.ofp_in) if switch else 0
+            result = method(sw_id, *args, **kwargs)
+            if switch is not None:
+                for message in switch.ofp_in.items()[before:]:
+                    self._system.of_seq += 1
+                    message.seq = self._system.of_seq
+            self._system._api_calls.append((name, sw_id, args, kwargs))
+            return result
+
+        return wrapper

@@ -1,0 +1,88 @@
+"""The NICE front end (Figure 2).
+
+Input: an OpenFlow controller program, a network topology, and correctness
+properties.  Output: traces of property violations.
+
+>>> from repro import nice, scenarios
+>>> scenario = scenarios.pyswitch_direct_path()
+>>> result = nice.run(scenario)          # doctest: +SKIP
+>>> result.found_violation               # doctest: +SKIP
+True
+"""
+
+from __future__ import annotations
+
+from repro.config import NiceConfig
+from repro.mc.search import Searcher, SearchResult
+from repro.mc.strategies import make_strategy
+from repro.mc.system import System
+from repro.sym.engine import ConcolicEngine
+
+
+class Scenario:
+    """A complete NICE input: topology, app, hosts, properties, config.
+
+    ``app_factory`` / ``hosts_factory`` are zero-argument callables building
+    *fresh* instances, so searches and replays always start from identical
+    initial states.
+    """
+
+    def __init__(self, topo, app_factory, hosts_factory, properties,
+                 config: NiceConfig | None = None, name: str = "scenario"):
+        self.topo = topo
+        self.app_factory = app_factory
+        self.hosts_factory = hosts_factory
+        self.properties = properties
+        self.config = config or NiceConfig()
+        self.name = name
+
+    def system_factory(self) -> System:
+        system = System(self.topo, self.app_factory(),
+                        self.hosts_factory(), self.config)
+        system.boot()
+        return system
+
+    def make_searcher(self) -> Searcher:
+        discoverer = None
+        if self.config.use_symbolic_execution:
+            discoverer = ConcolicEngine(max_paths=self.config.max_paths)
+        return Searcher(
+            self.system_factory,
+            self.properties,
+            self.config,
+            strategy=make_strategy(self.config, self.app_factory()),
+            discoverer=discoverer,
+        )
+
+    def __repr__(self):
+        return f"Scenario({self.name})"
+
+
+def run(scenario: Scenario) -> SearchResult:
+    """Perform the state-space search and return violations + statistics."""
+    return scenario.make_searcher().run()
+
+
+def replay(scenario: Scenario, trace, expected_hash: str | None = None):
+    """Deterministically reproduce a violation trace (Section 6)."""
+    from repro.mc.replay import replay_trace
+
+    return replay_trace(
+        scenario.system_factory, trace,
+        strategy=make_strategy(scenario.config, scenario.app_factory()),
+        expected_hash=expected_hash,
+    )
+
+
+def random_walk(scenario: Scenario, steps: int = 100,
+                seed: int = 0) -> SearchResult:
+    """Random-walk mode (Section 1.3: "random walks on system states")."""
+    import dataclasses
+
+    config = dataclasses.replace(scenario.config, search_order="random",
+                                 seed=seed, max_transitions=steps,
+                                 stop_at_first_violation=False)
+    walk = Scenario(scenario.topo, scenario.app_factory,
+                    scenario.hosts_factory, scenario.properties, config,
+                    name=f"{scenario.name}-walk")
+    return run(walk)

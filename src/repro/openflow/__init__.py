@@ -1,0 +1,98 @@
+"""Simplified OpenFlow data plane: packets, matches, rules, switches.
+
+This package implements the paper's simplified switch model (Section 2.2.2):
+first-in first-out communication channels with an optional fault model, a
+flow table with a canonical representation that merges semantically
+equivalent states, and two transitions — ``process_pkt`` and ``process_of``.
+"""
+
+from repro.openflow.actions import (
+    ActionController,
+    ActionDrop,
+    ActionFlood,
+    ActionOutput,
+    ActionSetDlDst,
+    ActionSetDlSrc,
+    ActionTable,
+    CONTROLLER_PORT,
+    FLOOD_PORT,
+)
+from repro.openflow.channels import Channel
+from repro.openflow.flowtable import FlowTable
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    FlowMod,
+    FlowRemoved,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+    StatsReply,
+    StatsRequest,
+    OFPFC_ADD,
+    OFPFC_DELETE,
+    OFPFC_DELETE_STRICT,
+    OFPR_ACTION,
+    OFPR_NO_MATCH,
+)
+from repro.openflow.packet import (
+    ETH_TYPE_ARP,
+    ETH_TYPE_IP,
+    ETH_TYPE_LLDP,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    MacAddress,
+    Packet,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_RST,
+    TCP_SYN,
+)
+from repro.openflow.rules import Rule, PERMANENT
+from repro.openflow.switch import SwitchModel
+
+__all__ = [
+    "ActionController",
+    "ActionDrop",
+    "ActionFlood",
+    "ActionOutput",
+    "ActionSetDlDst",
+    "ActionSetDlSrc",
+    "ActionTable",
+    "BarrierReply",
+    "BarrierRequest",
+    "Channel",
+    "CONTROLLER_PORT",
+    "ETH_TYPE_ARP",
+    "ETH_TYPE_IP",
+    "ETH_TYPE_LLDP",
+    "FLOOD_PORT",
+    "FlowMod",
+    "FlowRemoved",
+    "FlowTable",
+    "IPPROTO_ICMP",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "MacAddress",
+    "Match",
+    "OFPFC_ADD",
+    "OFPFC_DELETE",
+    "OFPFC_DELETE_STRICT",
+    "OFPR_ACTION",
+    "OFPR_NO_MATCH",
+    "Packet",
+    "PacketIn",
+    "PacketOut",
+    "PERMANENT",
+    "PortStatus",
+    "Rule",
+    "StatsReply",
+    "StatsRequest",
+    "SwitchModel",
+    "TCP_ACK",
+    "TCP_FIN",
+    "TCP_RST",
+    "TCP_SYN",
+]

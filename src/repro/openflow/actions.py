@@ -1,0 +1,152 @@
+"""Rule actions.
+
+The paper's rules carry action lists: forwarding to a port, flooding,
+dropping (an empty action list in real OpenFlow; an explicit action here so
+tests read clearly), sending to the controller, and header modification.
+Actions are plain, hashable value objects; the switch model interprets them.
+"""
+
+from __future__ import annotations
+
+from repro.openflow.packet import MacAddress
+
+#: Pseudo-port numbers, mirroring OFPP_FLOOD / OFPP_CONTROLLER.
+FLOOD_PORT = 0xFFFB
+CONTROLLER_PORT = 0xFFFD
+
+
+class Action:
+    """Base class for actions; subclasses are immutable value objects."""
+
+    __slots__ = ()
+
+    def canonical(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.canonical()))
+
+
+class ActionOutput(Action):
+    """Forward the packet out a specific port."""
+
+    __slots__ = ("port",)
+
+    def __init__(self, port: int):
+        self.port = port
+
+    def canonical(self) -> tuple:
+        return ("output", self.port)
+
+    def __repr__(self) -> str:
+        return f"Output({self.port})"
+
+
+class ActionFlood(Action):
+    """Send the packet out every port except the one it arrived on."""
+
+    __slots__ = ()
+
+    def canonical(self) -> tuple:
+        return ("flood",)
+
+    def __repr__(self) -> str:
+        return "Flood()"
+
+
+class ActionDrop(Action):
+    """Discard the packet."""
+
+    __slots__ = ()
+
+    def canonical(self) -> tuple:
+        return ("drop",)
+
+    def __repr__(self) -> str:
+        return "Drop()"
+
+
+class ActionController(Action):
+    """Buffer the packet and send a packet-in (reason ACTION) to the controller."""
+
+    __slots__ = ()
+
+    def canonical(self) -> tuple:
+        return ("controller",)
+
+    def __repr__(self) -> str:
+        return "ToController()"
+
+
+class ActionTable(Action):
+    """Process the packet through the flow table (OFPP_TABLE).
+
+    Only valid inside packet-out messages; NOX's pyswitch releases buffered
+    packets this way so they follow the rule just installed.
+    """
+
+    __slots__ = ()
+
+    def canonical(self) -> tuple:
+        return ("table",)
+
+    def __repr__(self) -> str:
+        return "ViaTable()"
+
+
+class ActionSetDlSrc(Action):
+    """Rewrite the Ethernet source address."""
+
+    __slots__ = ("mac",)
+
+    def __init__(self, mac: MacAddress):
+        self.mac = mac
+
+    def canonical(self) -> tuple:
+        return ("set_dl_src", self.mac.canonical())
+
+    def __repr__(self) -> str:
+        return f"SetDlSrc({self.mac})"
+
+
+class ActionSetDlDst(Action):
+    """Rewrite the Ethernet destination address."""
+
+    __slots__ = ("mac",)
+
+    def __init__(self, mac: MacAddress):
+        self.mac = mac
+
+    def canonical(self) -> tuple:
+        return ("set_dl_dst", self.mac.canonical())
+
+    def __repr__(self) -> str:
+        return f"SetDlDst({self.mac})"
+
+
+def actions_from_pair(kind: str, arg) -> list[Action]:
+    """Translate the paper's ``[OUTPUT, outport]`` action-pair style.
+
+    Figure 3 writes ``actions = [OUTPUT, outport]``; this helper lets the
+    reimplemented applications keep that shape.
+    """
+    kind = kind.lower()
+    if kind == "output":
+        return [ActionOutput(int(arg))]
+    if kind == "flood":
+        return [ActionFlood()]
+    if kind == "drop":
+        return [ActionDrop()]
+    if kind == "controller":
+        return [ActionController()]
+    raise ValueError(f"unknown action kind {kind!r}")
+
+
+def canonical_actions(actions: list[Action]) -> tuple:
+    """Stable serialization of an action list for state hashing."""
+    return tuple(action.canonical() for action in actions)

@@ -1,0 +1,127 @@
+"""First-in first-out communication channels.
+
+Section 2.2.2: each channel is a FIFO buffer.  Packet channels have an
+optionally-enabled fault model that can drop, duplicate, or reorder packets,
+or fail the link; the channel to the controller is reliable and in-order.
+
+The fault model is expressed as *fault operations* that the model checker
+turns into transitions when ``channel_faults`` is enabled, so that faults
+participate in the systematic exploration instead of being random.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ChannelError
+
+
+class Channel:
+    """A FIFO buffer of items (packets or OpenFlow messages)."""
+
+    __slots__ = ("name", "reliable", "failed", "_items")
+
+    def __init__(self, name: str, reliable: bool = True):
+        self.name = name
+        #: Reliable channels (the OpenFlow control channel) never expose
+        #: fault operations.
+        self.reliable = reliable
+        #: A failed link silently discards enqueues and never dequeues.
+        self.failed = False
+        self._items: list = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:  # truthiness == non-empty, handy in guards
+        return bool(self._items)
+
+    def enqueue(self, item) -> None:
+        if self.failed:
+            return
+        self._items.append(item)
+
+    def extend(self, items: Iterable) -> None:
+        for item in items:
+            self.enqueue(item)
+
+    def peek(self):
+        if not self._items:
+            raise ChannelError(f"peek on empty channel {self.name}")
+        return self._items[0]
+
+    def dequeue(self):
+        if not self._items:
+            raise ChannelError(f"dequeue on empty channel {self.name}")
+        return self._items.pop(0)
+
+    def items(self) -> list:
+        """A snapshot copy of the queued items (head first)."""
+        return list(self._items)
+
+    def clear(self) -> list:
+        drained, self._items = self._items, []
+        return drained
+
+    # ------------------------------------------------------------------
+    # Fault model (only meaningful on unreliable packet channels).
+    # ------------------------------------------------------------------
+
+    def fault_operations(self) -> list[tuple]:
+        """Enumerate the fault transitions currently enabled on this channel.
+
+        Returns descriptors understood by :meth:`apply_fault`:
+        ``("drop", index)``, ``("duplicate", index)``,
+        ``("reorder", index)`` (swap item *index* with its successor), and
+        ``("fail",)``.
+        """
+        if self.reliable or self.failed or not self._items:
+            # Faults on an idle channel are unobservable and would keep the
+            # system from ever quiescing; they are enabled only while
+            # traffic is present.
+            return []
+        ops: list[tuple] = [("fail",)]
+        for i in range(len(self._items)):
+            ops.append(("drop", i))
+            ops.append(("duplicate", i))
+        for i in range(len(self._items) - 1):
+            ops.append(("reorder", i))
+        return ops
+
+    def apply_fault(self, op: tuple):
+        """Apply a fault descriptor; returns the affected item (if any)."""
+        if self.reliable:
+            raise ChannelError(f"fault injection on reliable channel {self.name}")
+        kind = op[0]
+        if kind == "fail":
+            self.failed = True
+            return None
+        index = op[1]
+        if not 0 <= index < len(self._items):
+            raise ChannelError(f"fault index {index} out of range on {self.name}")
+        if kind == "drop":
+            return self._items.pop(index)
+        if kind == "duplicate":
+            self._items.insert(index, self._items[index])
+            return self._items[index]
+        if kind == "reorder":
+            if index + 1 >= len(self._items):
+                raise ChannelError(f"reorder at tail of {self.name}")
+            self._items[index], self._items[index + 1] = (
+                self._items[index + 1],
+                self._items[index],
+            )
+            return self._items[index]
+        raise ChannelError(f"unknown fault op {op!r}")
+
+    def canonical(self) -> tuple:
+        """Stable serialization for state hashing."""
+        def enc(item):
+            canon = getattr(item, "canonical", None)
+            return canon() if callable(canon) else item
+
+        return (self.name, self.failed, tuple(enc(item) for item in self._items))
+
+    def __repr__(self) -> str:
+        state = "FAILED " if self.failed else ""
+        return f"Channel({self.name}, {state}{len(self._items)} items)"

@@ -1,0 +1,127 @@
+"""The flow table, with the paper's canonical representation.
+
+Section 2.2.2, "Merging equivalent flow tables": two tables holding the same
+rules in different insertion orders are semantically equivalent whenever the
+differing-order rules do not overlap (no packet matches both), yet a naive
+list representation makes the model checker treat them as distinct states.
+The canonical representation sorts rules into a unique order — by descending
+priority, then by a stable serialization of the pattern — so equivalent
+tables serialize identically.  Disabling this (``canonical=False``)
+reproduces the NO-SWITCH-REDUCTION baseline of Table 1, where insertion
+order leaks into the state hash.
+
+Lookup semantics follow OpenFlow: the highest-priority matching rule wins;
+among equal-priority overlapping rules the earliest-inserted wins (kept
+deterministic via an insertion sequence number).
+"""
+
+from __future__ import annotations
+
+from repro.openflow.match import Match
+from repro.openflow.packet import Packet
+from repro.openflow.rules import Rule
+
+
+class FlowTable:
+    """An OpenFlow flow table."""
+
+    def __init__(self, canonical: bool = True):
+        self.canonical_mode = canonical
+        self._entries: list[tuple[int, Rule]] = []  # (insertion_seq, rule)
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return (rule for _, rule in self._entries)
+
+    @property
+    def rules(self) -> list[Rule]:
+        return [rule for _, rule in self._entries]
+
+    def install(self, rule: Rule) -> None:
+        """Add a rule; replaces an existing entry with identical match+priority.
+
+        OFPFC_ADD semantics: an exact-duplicate entry overwrites, resetting
+        counters.  The rewritten entry takes a fresh position at the *tail*
+        of the list — as in a naive list-based switch implementation — which
+        is precisely the source of semantically-equivalent-but-differently-
+        ordered tables that the canonical representation merges (Table 1's
+        NO-SWITCH-REDUCTION comparison).
+        """
+        self._entries = [(seq, existing) for seq, existing in self._entries
+                         if not existing.same_entry(rule)]
+        self._entries.append((self._next_seq, rule))
+        self._next_seq += 1
+
+    def remove(self, pattern: Match, priority: int | None = None,
+               strict: bool = False) -> list[Rule]:
+        """Delete rules, OFPFC_DELETE style.
+
+        Non-strict delete removes every rule whose pattern *overlaps* the
+        given one (i.e. the given wildcard pattern subsumes-or-intersects the
+        rule); strict delete removes only the rule with the identical pattern
+        (and priority, when given).  Returns the removed rules.
+        """
+        removed: list[Rule] = []
+        kept: list[tuple[int, Rule]] = []
+        for seq, rule in self._entries:
+            if strict:
+                doomed = rule.match == pattern and (
+                    priority is None or rule.priority == priority
+                )
+            else:
+                doomed = pattern.overlaps(rule.match) and (
+                    priority is None or rule.priority == priority
+                )
+            if doomed:
+                removed.append(rule)
+            else:
+                kept.append((seq, rule))
+        self._entries = kept
+        return removed
+
+    def remove_rule(self, rule: Rule) -> bool:
+        """Remove one specific rule object (used by expiry transitions)."""
+        for i, (_, existing) in enumerate(self._entries):
+            if existing is rule:
+                del self._entries[i]
+                return True
+        return False
+
+    def lookup(self, packet: Packet, in_port: int) -> Rule | None:
+        """Return the highest-priority rule matching ``packet`` on ``in_port``.
+
+        Ties between equal-priority overlapping rules break toward the
+        earliest-installed rule, keeping the data plane deterministic.
+        """
+        best: Rule | None = None
+        best_key: tuple[int, int] | None = None
+        for seq, rule in self._entries:
+            if rule.match.matches(packet, in_port):
+                key = (-rule.priority, seq)
+                if best_key is None or key < best_key:
+                    best, best_key = rule, key
+        return best
+
+    def expirable_rules(self) -> list[Rule]:
+        """Rules eligible for an explicit expiry transition (hard timeout)."""
+        return [rule for _, rule in self._entries
+                if rule.hard_timeout and rule.hard_timeout > 0]
+
+    def canonical(self, include_counters: bool = True) -> tuple:
+        """Serialization for state hashing.
+
+        Canonical mode sorts rules into the unique order described in the
+        paper; non-canonical mode preserves the insertion order, so the model
+        checker sees two insertion orders of non-overlapping rules as two
+        distinct states (NO-SWITCH-REDUCTION).
+        """
+        serialized = [rule.canonical(include_counters) for _, rule in self._entries]
+        if self.canonical_mode:
+            serialized.sort()
+        return tuple(serialized)
+
+    def __repr__(self) -> str:
+        return f"FlowTable({self.rules!r})"

@@ -1,0 +1,250 @@
+"""Flow-table match patterns.
+
+A :class:`Match` is a pattern over the OpenFlow header tuple.  Every field is
+either a concrete value ("exact match") or ``None`` ("don't care").  IPv4
+source/destination additionally support prefix wildcards — the load-balancer
+application of Section 8.2 divides client IP space with wildcard rules like
+``nw_src=64.0.0.0/2``.
+
+Field-name constants (``DL_SRC`` etc.) mirror the names used in Figure 3 so
+application code reads like the paper's pseudo-code.
+"""
+
+from __future__ import annotations
+
+from repro.openflow.packet import MacAddress, Packet, ip_to_string
+
+DL_SRC = "dl_src"
+DL_DST = "dl_dst"
+DL_TYPE = "dl_type"
+IN_PORT = "in_port"
+NW_SRC = "nw_src"
+NW_DST = "nw_dst"
+NW_PROTO = "nw_proto"
+TP_SRC = "tp_src"
+TP_DST = "tp_dst"
+
+#: All match field names in canonical order.
+MATCH_FIELDS = (
+    IN_PORT,
+    DL_SRC,
+    DL_DST,
+    DL_TYPE,
+    NW_SRC,
+    NW_DST,
+    NW_PROTO,
+    TP_SRC,
+    TP_DST,
+)
+
+
+def _prefix_mask(bits: int) -> int:
+    if not 0 <= bits <= 32:
+        raise ValueError(f"prefix length out of range: {bits}")
+    return 0 if bits == 0 else (0xFFFFFFFF << (32 - bits)) & 0xFFFFFFFF
+
+
+class Match:
+    """A match pattern; unspecified fields are wildcards.
+
+    ``nw_src``/``nw_dst`` accept either a plain int (exact /32 match) or an
+    ``(address, prefix_len)`` pair.
+    """
+
+    __slots__ = (
+        "in_port",
+        "dl_src",
+        "dl_dst",
+        "dl_type",
+        "nw_src",
+        "nw_src_bits",
+        "nw_dst",
+        "nw_dst_bits",
+        "nw_proto",
+        "tp_src",
+        "tp_dst",
+    )
+
+    def __init__(
+        self,
+        in_port: int | None = None,
+        dl_src: MacAddress | None = None,
+        dl_dst: MacAddress | None = None,
+        dl_type: int | None = None,
+        nw_src: int | tuple[int, int] | None = None,
+        nw_dst: int | tuple[int, int] | None = None,
+        nw_proto: int | None = None,
+        tp_src: int | None = None,
+        tp_dst: int | None = None,
+    ):
+        self.in_port = in_port
+        self.dl_src = dl_src
+        self.dl_dst = dl_dst
+        self.dl_type = dl_type
+        self.nw_src, self.nw_src_bits = self._parse_nw(nw_src)
+        self.nw_dst, self.nw_dst_bits = self._parse_nw(nw_dst)
+        self.nw_proto = nw_proto
+        self.tp_src = tp_src
+        self.tp_dst = tp_dst
+
+    @staticmethod
+    def _parse_nw(spec: int | tuple[int, int] | None) -> tuple[int | None, int]:
+        if spec is None:
+            return None, 0
+        if isinstance(spec, tuple):
+            addr, bits = spec
+            mask = _prefix_mask(bits)
+            return addr & mask, bits
+        return spec & 0xFFFFFFFF, 32
+
+    @classmethod
+    def from_dict(cls, fields: dict) -> "Match":
+        """Build a match from a ``{DL_SRC: ..., IN_PORT: ...}`` dict.
+
+        This is the construction style of Figure 3, line 11.
+        """
+        unknown = set(fields) - set(MATCH_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown match fields: {sorted(unknown)}")
+        return cls(**{name: fields.get(name) for name in MATCH_FIELDS})
+
+    @classmethod
+    def exact_from_packet(cls, packet: Packet, in_port: int) -> "Match":
+        """The microflow rule pattern: exact match on every field."""
+        return cls(
+            in_port=in_port,
+            dl_src=packet.eth_src,
+            dl_dst=packet.eth_dst,
+            dl_type=packet.eth_type,
+            nw_src=packet.ip_src,
+            nw_dst=packet.ip_dst,
+            nw_proto=packet.nw_proto,
+            tp_src=packet.tp_src,
+            tp_dst=packet.tp_dst,
+        )
+
+    def matches(self, packet: Packet, in_port: int) -> bool:
+        """True when ``packet`` arriving on ``in_port`` satisfies the pattern."""
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.dl_src is not None and packet.eth_src != self.dl_src:
+            return False
+        if self.dl_dst is not None and packet.eth_dst != self.dl_dst:
+            return False
+        if self.dl_type is not None and packet.eth_type != self.dl_type:
+            return False
+        if self.nw_src is not None:
+            mask = _prefix_mask(self.nw_src_bits)
+            if (packet.ip_src & mask) != self.nw_src:
+                return False
+        if self.nw_dst is not None:
+            mask = _prefix_mask(self.nw_dst_bits)
+            if (packet.ip_dst & mask) != self.nw_dst:
+                return False
+        if self.nw_proto is not None and packet.nw_proto != self.nw_proto:
+            return False
+        if self.tp_src is not None and packet.tp_src != self.tp_src:
+            return False
+        if self.tp_dst is not None and packet.tp_dst != self.tp_dst:
+            return False
+        return True
+
+    def is_exact(self) -> bool:
+        """True for microflow rules (every field concrete, /32 prefixes)."""
+        all_set = all(
+            getattr(self, name) is not None
+            for name in ("in_port", "dl_src", "dl_dst", "dl_type", "nw_proto",
+                         "tp_src", "tp_dst")
+        )
+        return (
+            all_set
+            and self.nw_src is not None and self.nw_src_bits == 32
+            and self.nw_dst is not None and self.nw_dst_bits == 32
+        )
+
+    def specificity(self) -> int:
+        """Count of constrained bits; a rough tiebreaker for overlap order."""
+        score = 0
+        for name in (self.in_port, self.dl_type, self.nw_proto, self.tp_src,
+                     self.tp_dst):
+            if name is not None:
+                score += 16
+        if self.dl_src is not None:
+            score += 48
+        if self.dl_dst is not None:
+            score += 48
+        score += self.nw_src_bits + self.nw_dst_bits
+        return score
+
+    def overlaps(self, other: "Match") -> bool:
+        """True if some packet could match both patterns."""
+        def scalar_clash(a, b):
+            return a is not None and b is not None and a != b
+
+        if scalar_clash(self.in_port, other.in_port):
+            return False
+        if scalar_clash(self.dl_src, other.dl_src):
+            return False
+        if scalar_clash(self.dl_dst, other.dl_dst):
+            return False
+        if scalar_clash(self.dl_type, other.dl_type):
+            return False
+        if scalar_clash(self.nw_proto, other.nw_proto):
+            return False
+        if scalar_clash(self.tp_src, other.tp_src):
+            return False
+        if scalar_clash(self.tp_dst, other.tp_dst):
+            return False
+        for a_addr, a_bits, b_addr, b_bits in (
+            (self.nw_src, self.nw_src_bits, other.nw_src, other.nw_src_bits),
+            (self.nw_dst, self.nw_dst_bits, other.nw_dst, other.nw_dst_bits),
+        ):
+            if a_addr is None or b_addr is None:
+                continue
+            bits = min(a_bits, b_bits)
+            mask = _prefix_mask(bits)
+            if (a_addr & mask) != (b_addr & mask):
+                return False
+        return True
+
+    def canonical(self) -> tuple:
+        """Stable, order-independent serialization for state hashing."""
+        def enc(value):
+            if value is None:
+                return "*"
+            if isinstance(value, MacAddress):
+                return value.canonical()
+            return value
+
+        return (
+            enc(self.in_port),
+            enc(self.dl_src),
+            enc(self.dl_dst),
+            enc(self.dl_type),
+            "*" if self.nw_src is None else (self.nw_src, self.nw_src_bits),
+            "*" if self.nw_dst is None else (self.nw_dst, self.nw_dst_bits),
+            enc(self.nw_proto),
+            enc(self.tp_src),
+            enc(self.tp_dst),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Match):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in MATCH_FIELDS:
+            if name == NW_SRC and self.nw_src is not None:
+                parts.append(f"nw_src={ip_to_string(self.nw_src)}/{self.nw_src_bits}")
+            elif name == NW_DST and self.nw_dst is not None:
+                parts.append(f"nw_dst={ip_to_string(self.nw_dst)}/{self.nw_dst_bits}")
+            else:
+                value = getattr(self, name, None)
+                if value is not None:
+                    parts.append(f"{name}={value}")
+        return f"Match({', '.join(parts) or '*'})"

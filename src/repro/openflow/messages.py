@@ -1,0 +1,230 @@
+"""OpenFlow control messages exchanged between switches and the controller.
+
+The subset the paper's applications use: packet-in (with the *reason code*
+whose mishandling causes BUG-V), packet-out, flow-mod (add / delete /
+delete-strict), stats request/reply (port statistics drive the
+energy-efficient traffic-engineering application), barrier, port-status, and
+flow-removed.  Messages are plain, canonically-serializable value objects.
+"""
+
+from __future__ import annotations
+
+from repro.openflow.actions import Action, canonical_actions
+from repro.openflow.match import Match
+from repro.openflow.packet import Packet
+from repro.openflow.rules import PERMANENT
+
+# Flow-mod commands.
+OFPFC_ADD = "add"
+OFPFC_DELETE = "delete"
+OFPFC_DELETE_STRICT = "delete_strict"
+
+# Packet-in reasons.
+OFPR_NO_MATCH = "no_match"
+OFPR_ACTION = "action"
+
+# Stats kinds.
+OFPST_PORT = "port"
+OFPST_FLOW = "flow"
+
+
+class Message:
+    """Base class for OpenFlow messages.
+
+    ``seq`` is a model-level stamp (global issue order of controller-to-
+    switch messages) used by the UNUSUAL search strategy to recognize and
+    reverse "natural" installation orders.  It is not part of message
+    equality.
+    """
+
+    __slots__ = ("seq",)
+
+    def canonical(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.canonical()))
+
+
+class PacketIn(Message):
+    """Switch -> controller: a packet needs the controller's attention."""
+
+    __slots__ = ("switch", "in_port", "packet", "buffer_id", "reason")
+
+    def __init__(self, switch: str, in_port: int, packet: Packet,
+                 buffer_id: int, reason: str = OFPR_NO_MATCH):
+        self.switch = switch
+        self.in_port = in_port
+        self.packet = packet
+        self.buffer_id = buffer_id
+        self.reason = reason
+
+    def canonical(self) -> tuple:
+        return ("packet_in", self.switch, self.in_port,
+                self.packet.canonical(), self.buffer_id, self.reason)
+
+    def __repr__(self) -> str:
+        return (f"PacketIn(sw={self.switch}, port={self.in_port},"
+                f" buf={self.buffer_id}, reason={self.reason}, {self.packet!r})")
+
+
+class PacketOut(Message):
+    """Controller -> switch: release a buffered packet (or send a raw one)."""
+
+    __slots__ = ("buffer_id", "packet", "actions")
+
+    def __init__(self, buffer_id: int | None, packet: Packet | None,
+                 actions: list[Action]):
+        if buffer_id is None and packet is None:
+            raise ValueError("PacketOut needs a buffer_id or a packet")
+        self.buffer_id = buffer_id
+        self.packet = packet
+        self.actions = list(actions)
+
+    def canonical(self) -> tuple:
+        return (
+            "packet_out",
+            self.buffer_id if self.buffer_id is not None else "*",
+            self.packet.canonical() if self.packet is not None else "*",
+            canonical_actions(self.actions),
+        )
+
+    def __repr__(self) -> str:
+        return f"PacketOut(buf={self.buffer_id}, acts={self.actions!r})"
+
+
+class FlowMod(Message):
+    """Controller -> switch: install or remove rules."""
+
+    __slots__ = ("command", "match", "actions", "priority", "idle_timeout",
+                 "hard_timeout", "cookie")
+
+    def __init__(self, command: str, match: Match,
+                 actions: list[Action] | None = None,
+                 priority: int = 0x8000,
+                 idle_timeout: int = PERMANENT,
+                 hard_timeout: int = PERMANENT,
+                 cookie: int = 0):
+        if command not in (OFPFC_ADD, OFPFC_DELETE, OFPFC_DELETE_STRICT):
+            raise ValueError(f"unknown flow-mod command {command!r}")
+        self.command = command
+        self.match = match
+        self.actions = list(actions or [])
+        self.priority = priority
+        self.idle_timeout = idle_timeout
+        self.hard_timeout = hard_timeout
+        self.cookie = cookie
+
+    def canonical(self) -> tuple:
+        return ("flow_mod", self.command, self.match.canonical(),
+                canonical_actions(self.actions), self.priority,
+                self.idle_timeout, self.hard_timeout, self.cookie)
+
+    def __repr__(self) -> str:
+        return f"FlowMod({self.command}, {self.match!r}, prio={self.priority})"
+
+
+class StatsRequest(Message):
+    """Controller -> switch: ask for port or flow statistics."""
+
+    __slots__ = ("kind", "xid")
+
+    def __init__(self, kind: str = OFPST_PORT, xid: int = 0):
+        self.kind = kind
+        self.xid = xid
+
+    def canonical(self) -> tuple:
+        return ("stats_request", self.kind, self.xid)
+
+    def __repr__(self) -> str:
+        return f"StatsRequest({self.kind}, xid={self.xid})"
+
+
+class StatsReply(Message):
+    """Switch -> controller: statistics payload.
+
+    ``stats`` maps port number to a ``{"tx_bytes": ..., "rx_bytes": ...,
+    "tx_packets": ..., "rx_packets": ...}`` dict for port stats, or rule
+    serializations for flow stats.
+    """
+
+    __slots__ = ("switch", "kind", "stats", "xid")
+
+    def __init__(self, switch: str, kind: str, stats: dict, xid: int = 0):
+        self.switch = switch
+        self.kind = kind
+        self.stats = stats
+        self.xid = xid
+
+    def canonical(self) -> tuple:
+        def freeze(obj):
+            if isinstance(obj, dict):
+                return tuple(sorted((k, freeze(v)) for k, v in obj.items()))
+            return obj
+
+        return ("stats_reply", self.switch, self.kind, freeze(self.stats), self.xid)
+
+    def __repr__(self) -> str:
+        return f"StatsReply(sw={self.switch}, {self.kind}, xid={self.xid})"
+
+
+class BarrierRequest(Message):
+    """Controller -> switch: flush ordering barrier."""
+
+    __slots__ = ("xid",)
+
+    def __init__(self, xid: int = 0):
+        self.xid = xid
+
+    def canonical(self) -> tuple:
+        return ("barrier_request", self.xid)
+
+
+class BarrierReply(Message):
+    """Switch -> controller: all earlier messages have been processed."""
+
+    __slots__ = ("switch", "xid")
+
+    def __init__(self, switch: str, xid: int = 0):
+        self.switch = switch
+        self.xid = xid
+
+    def canonical(self) -> tuple:
+        return ("barrier_reply", self.switch, self.xid)
+
+
+class PortStatus(Message):
+    """Switch -> controller: a port went up or down."""
+
+    __slots__ = ("switch", "port", "is_up")
+
+    def __init__(self, switch: str, port: int, is_up: bool):
+        self.switch = switch
+        self.port = port
+        self.is_up = is_up
+
+    def canonical(self) -> tuple:
+        return ("port_status", self.switch, self.port, self.is_up)
+
+
+class FlowRemoved(Message):
+    """Switch -> controller: a rule expired or was evicted."""
+
+    __slots__ = ("switch", "match", "priority", "packet_count", "byte_count")
+
+    def __init__(self, switch: str, match: Match, priority: int,
+                 packet_count: int, byte_count: int):
+        self.switch = switch
+        self.match = match
+        self.priority = priority
+        self.packet_count = packet_count
+        self.byte_count = byte_count
+
+    def canonical(self) -> tuple:
+        return ("flow_removed", self.switch, self.match.canonical(),
+                self.priority, self.packet_count, self.byte_count)

@@ -1,0 +1,32 @@
+"""Correctness properties (Section 5).
+
+A property is a predicate over global system state, optionally consulting
+the ordered packet-fate log (the "local state via callbacks" of the paper,
+stored on the system so checkpointing stays simple).  NICE checks every
+property after every transition, and again at quiescent states for
+end-of-execution properties like NoForgottenPackets.
+"""
+
+from repro.properties.base import Property
+from repro.properties.black_holes import NoBlackHoles
+from repro.properties.direct_paths import DirectPaths, StrictDirectPaths
+from repro.properties.flow_affinity import FlowAffinity
+from repro.properties.forgotten_packets import NoForgottenPackets
+from repro.properties.forwarding_loops import NoForwardingLoops
+from repro.properties.library import PROPERTY_LIBRARY, make_properties
+from repro.properties.routing_table import UseCorrectRoutingTable
+from repro.properties.transient import TransientSafeNoBlackHoles
+
+__all__ = [
+    "DirectPaths",
+    "FlowAffinity",
+    "NoBlackHoles",
+    "NoForgottenPackets",
+    "NoForwardingLoops",
+    "PROPERTY_LIBRARY",
+    "Property",
+    "StrictDirectPaths",
+    "TransientSafeNoBlackHoles",
+    "UseCorrectRoutingTable",
+    "make_properties",
+]

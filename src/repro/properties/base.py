@@ -1,0 +1,36 @@
+"""The property interface.
+
+Correctness properties may (i) access the full system state, (ii) observe
+the transition that just executed, and (iii) read the system's ordered
+packet-fate log — together covering the three capabilities Section 5.1
+enumerates (state access, transition callbacks, local state).
+
+Raise :class:`~repro.errors.PropertyViolation` (or call :meth:`violation`)
+to report; the search loop catches it, records the reproducing trace, and —
+depending on configuration — stops or keeps exploring.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PropertyViolation
+
+
+class Property:
+    """Base class for correctness properties."""
+
+    name = "property"
+
+    def reset(self, system) -> None:
+        """Called once on the initial state, before the search starts."""
+
+    def check(self, system, transition) -> None:
+        """Called after every executed transition."""
+
+    def check_quiescent(self, system) -> None:
+        """Called when a state has no enabled transitions (execution end)."""
+
+    def violation(self, message: str) -> None:
+        raise PropertyViolation(self.name, message)
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"

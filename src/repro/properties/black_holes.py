@@ -1,0 +1,55 @@
+"""NoBlackHoles (Section 5.2).
+
+"No packets should be dropped in the network: every packet that enters the
+network ultimately leaves the network or is consumed by the controller
+itself.  To account for flooding, the property enforces a zero balance
+between the packet copies and packets consumed."
+
+Checked at quiescent states (the end of a system execution): every injected
+packet must have at least one copy that was delivered to a host or
+deliberately consumed by the controller (a buffer-discarding packet-out).
+Copies that sit in a switch buffer awaiting a controller verdict are left to
+NoForgottenPackets, which is the paper's property for that failure mode.
+
+An explicit rule-drop action also consumes all copies it swallows; by
+default that still counts as a black hole unless the property is built with
+``allow_rule_drops=True`` (some applications drop on purpose).
+"""
+
+from __future__ import annotations
+
+from repro.properties.base import Property
+
+
+class NoBlackHoles(Property):
+    """Fails when a packet can no longer reach any destination."""
+
+    name = "NoBlackHoles"
+
+    def __init__(self, allow_rule_drops: bool = False):
+        self.allow_rule_drops = allow_rule_drops
+
+    def check_quiescent(self, system) -> None:
+        delivered_uids = {entry[0] for entry in system.ledger.delivered}
+        consumed_uids = set()
+        dropped_uids = set()
+        buffered_uids = set()
+        for switch in system.switches.values():
+            for kind, uid, _copy in switch.dropped:
+                if kind == "ctrl_discard":
+                    consumed_uids.add(uid)
+                elif kind == "rule_drop":
+                    dropped_uids.add(uid)
+            for packet, _port in switch.buffers.values():
+                buffered_uids.add(packet.uid)
+        if self.allow_rule_drops:
+            consumed_uids |= dropped_uids
+        for uid, host in system.ledger.injected:
+            if uid in delivered_uids or uid in consumed_uids:
+                continue
+            if uid in buffered_uids:
+                continue  # NoForgottenPackets owns this failure mode
+            self.violation(
+                f"packet {uid} from host {host} never reached any "
+                f"destination nor was consumed by the controller"
+            )

@@ -1,0 +1,97 @@
+"""DirectPaths and StrictDirectPaths (Section 5.2).
+
+*DirectPaths*: once a packet has successfully reached its destination,
+future packets of the same flow do not go to the controller — i.e. handling
+the first packet established a direct path.
+
+*StrictDirectPaths*: after two hosts have delivered at least one packet of a
+flow in each direction, no successive packet reaches the controller — the
+liveness property whose violation exposes BUG-II in pyswitch.
+
+Both properties must be robust to natural communication delays (Section
+5.2): a packet that was *already in flight* when the path completed must not
+count as a violation.  The check therefore conditions on the packet-fate log
+order: only packets injected *after* the establishing deliveries can
+violate.
+"""
+
+from __future__ import annotations
+
+from repro.properties.base import Property
+
+
+def _pair_of(flow_key) -> tuple:
+    """The (src MAC, dst MAC) pair of a flow key."""
+    return (flow_key[0], flow_key[1])
+
+
+class _DirectPathsBase(Property):
+    """Shared scan: find controller-bound packets of established flows.
+
+    Reads the switches' packet-in *history* rather than the live message
+    queues — under NO-DELAY a packet-in is generated and consumed within
+    one atomic step, so queue contents alone would hide it.
+    """
+
+    def check(self, system, transition) -> None:
+        log = system.ledger.log
+        for switch in system.switches.values():
+            for packet, _reason in switch.packet_in_log:
+                if packet.eth_dst.is_broadcast:
+                    continue
+                if self._established_before_injection(system, log, packet):
+                    self.violation(
+                        f"{packet!r} went to the controller at "
+                        f"{switch.switch_id} although a direct path was "
+                        f"already established"
+                    )
+
+    def _established_before_injection(self, system, log, packet) -> bool:
+        raise NotImplementedError
+
+
+class DirectPaths(_DirectPathsBase):
+    """One-directional: the flow already delivered to its destination."""
+
+    name = "DirectPaths"
+
+    def _established_before_injection(self, system, log, packet) -> bool:
+        flow = packet.flow_key()
+        dst_hosts = {
+            name for name, host in system.hosts.items()
+            if host.mac == packet.eth_dst
+        }
+        for entry in log:
+            if entry[0] == "inj" and entry[1] == packet.uid:
+                return False  # reached the injection before any delivery
+            if entry[0] == "del" and entry[3] == flow and entry[2] in dst_hosts:
+                return True
+        return False
+
+
+class StrictDirectPaths(_DirectPathsBase):
+    """Bidirectional: both directions delivered before this packet was sent."""
+
+    name = "StrictDirectPaths"
+
+    def _established_before_injection(self, system, log, packet) -> bool:
+        pair = _pair_of(packet.flow_key())
+        reverse = (pair[1], pair[0])
+        forward_done = False
+        reverse_done = False
+        for entry in log:
+            if entry[0] == "inj" and entry[1] == packet.uid:
+                return forward_done and reverse_done
+            if entry[0] == "del":
+                delivered_pair = _pair_of(entry[3])
+                receiving_host = system.hosts.get(entry[2])
+                if receiving_host is None:
+                    continue
+                # Count only deliveries to the true destination.
+                if receiving_host.mac.canonical() != delivered_pair[1]:
+                    continue
+                if delivered_pair == pair:
+                    forward_done = True
+                elif delivered_pair == reverse:
+                    reverse_done = True
+        return False

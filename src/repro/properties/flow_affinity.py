@@ -1,0 +1,52 @@
+"""FlowAffinity — the application-specific property of Section 8.2.
+
+"We create an application-specific property FlowAffinity that verifies that
+all packets of a single TCP connection go to the same server replica."
+
+A connection is identified by the client side of the TCP 5-tuple (client IP,
+client port, virtual-IP port); the property records which replica each
+delivered packet landed on and fails on the first conflict.  This is the
+property whose violation exposes BUG-VII (duplicate SYN during a policy
+transition splitting one connection across replicas).
+"""
+
+from __future__ import annotations
+
+from repro.openflow.packet import ETH_TYPE_IP, IPPROTO_TCP
+from repro.properties.base import Property
+
+
+class FlowAffinity(Property):
+    """All packets of one TCP connection must reach the same replica."""
+
+    name = "FlowAffinity"
+
+    def __init__(self, server_names: list[str]):
+        self.server_names = set(server_names)
+
+    def check(self, system, transition) -> None:
+        assignments: dict[tuple, str] = {}
+        for uid, copy_id, host in system.ledger.delivered:
+            if host not in self.server_names:
+                continue
+            packet = self._find_delivered(system, host, uid, copy_id)
+            if packet is None or packet.eth_type != ETH_TYPE_IP \
+                    or packet.nw_proto != IPPROTO_TCP:
+                continue
+            connection = (packet.ip_src, packet.tp_src, packet.tp_dst)
+            first = assignments.get(connection)
+            if first is None:
+                assignments[connection] = host
+            elif first != host:
+                self.violation(
+                    f"TCP connection {connection} split across replicas "
+                    f"{first} and {host}"
+                )
+
+    @staticmethod
+    def _find_delivered(system, host_name, uid, copy_id):
+        host = system.hosts[host_name]
+        for packet in host.received:
+            if packet.uid == uid and packet.copy_id == copy_id:
+                return packet
+        return None

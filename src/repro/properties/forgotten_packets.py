@@ -1,0 +1,34 @@
+"""NoForgottenPackets (Section 5.2).
+
+"This property checks that all switch buffers are empty at the end of system
+execution.  A program can easily violate this property by forgetting to tell
+the switch how to handle a packet."
+
+Four of the paper's eleven bugs (IV, V, VI, VIII — plus IX and XI after
+fixes) manifest exactly this way: the handler installs rules or sends
+replies but never releases (or discards) the buffered packet that triggered
+the ``packet_in``.
+"""
+
+from __future__ import annotations
+
+from repro.properties.base import Property
+
+
+class NoForgottenPackets(Property):
+    """Fails when a quiescent state leaves packets in switch buffers."""
+
+    name = "NoForgottenPackets"
+
+    def check_quiescent(self, system) -> None:
+        for sw_id in sorted(system.switches):
+            switch = system.switches[sw_id]
+            if switch.buffers:
+                buffered = ", ".join(
+                    f"buf {bid}: {pkt!r} (in_port {port})"
+                    for bid, (pkt, port) in sorted(switch.buffers.items())
+                )
+                self.violation(
+                    f"switch {sw_id} still buffers packets awaiting the "
+                    f"controller at the end of execution: {buffered}"
+                )

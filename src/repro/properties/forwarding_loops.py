@@ -1,0 +1,47 @@
+"""NoForwardingLoops (Section 5.2).
+
+"This property asserts that packets do not encounter forwarding loops, and
+is implemented by checking that each packet goes through any given
+<switch, input port> pair at most once."
+
+Each packet records its ``(switch, in_port)`` hops as switches process it;
+the property scans every live packet (in channels, inboxes, buffers, and the
+delivered record) for a repeated hop.
+"""
+
+from __future__ import annotations
+
+from repro.properties.base import Property
+
+
+def _has_repeated_hop(packet) -> tuple | None:
+    seen = set()
+    for hop in packet.hops:
+        if hop in seen:
+            return hop
+        seen.add(hop)
+    return None
+
+
+class NoForwardingLoops(Property):
+    """Fails when any packet revisits a <switch, input port> pair."""
+
+    name = "NoForwardingLoops"
+
+    def check(self, system, transition) -> None:
+        for packet in self._live_packets(system):
+            repeat = _has_repeated_hop(packet)
+            if repeat is not None:
+                self.violation(
+                    f"packet {packet!r} traversed {repeat} twice"
+                )
+
+    def _live_packets(self, system):
+        for switch in system.switches.values():
+            for port in switch.ports:
+                yield from switch.port_in[port].items()
+            for packet, _ in switch.buffers.values():
+                yield packet
+        for host in system.hosts.values():
+            yield from host.inbox
+            yield from host.received

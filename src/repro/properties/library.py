@@ -1,0 +1,44 @@
+"""The library of common correctness properties (Section 5.2).
+
+"NICE provides a library of correctness properties applicable to a wide
+range of OpenFlow applications.  A programmer can select properties from a
+list, as appropriate for the application."
+"""
+
+from __future__ import annotations
+
+from repro.properties.base import Property
+from repro.properties.black_holes import NoBlackHoles
+from repro.properties.direct_paths import DirectPaths, StrictDirectPaths
+from repro.properties.forgotten_packets import NoForgottenPackets
+from repro.properties.forwarding_loops import NoForwardingLoops
+
+#: Name -> zero-argument constructor for the generic properties.
+PROPERTY_LIBRARY = {
+    "NoForwardingLoops": NoForwardingLoops,
+    "NoBlackHoles": NoBlackHoles,
+    "DirectPaths": DirectPaths,
+    "StrictDirectPaths": StrictDirectPaths,
+    "NoForgottenPackets": NoForgottenPackets,
+}
+
+
+def make_properties(names) -> list[Property]:
+    """Instantiate library properties by name.
+
+    >>> [type(p).__name__ for p in make_properties(["NoBlackHoles"])]
+    ['NoBlackHoles']
+    """
+    properties = []
+    for name in names:
+        if isinstance(name, Property):
+            properties.append(name)
+            continue
+        ctor = PROPERTY_LIBRARY.get(name)
+        if ctor is None:
+            raise KeyError(
+                f"unknown property {name!r}; library has "
+                f"{sorted(PROPERTY_LIBRARY)}"
+            )
+        properties.append(ctor())
+    return properties

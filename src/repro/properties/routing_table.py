@@ -1,0 +1,56 @@
+"""UseCorrectRoutingTable — the application-specific property of Section 8.3.
+
+"This property checks that the controller program, upon receiving a packet
+from an ingress switch, issues the installation of rules to all and just the
+switches on the appropriate path for that packet, as determined by the
+network load."
+
+The property is parameterized by a callable ``expected_path(app, packet)``
+supplied by the traffic-engineering application module: it returns the set
+of switch ids the current load state requires (or a collection of acceptable
+sets when the app may legitimately choose among paths).  After every
+``packet_in`` handler invocation for a *new flow* (one that installed at
+least one rule), the switches that received ``install_rule`` calls must be
+exactly one acceptable set.
+"""
+
+from __future__ import annotations
+
+from repro.mc import transitions as tk
+from repro.properties.base import Property
+
+
+class UseCorrectRoutingTable(Property):
+    """Rules must go to all-and-only the switches of the load-correct path."""
+
+    name = "UseCorrectRoutingTable"
+
+    def __init__(self, expected_path):
+        """``expected_path(app, packet) -> set[str] | list[set[str]]``."""
+        self.expected_path = expected_path
+
+    def check(self, system, transition) -> None:
+        if transition is None or transition.kind != tk.CTRL_HANDLE:
+            return
+        record = system.last_handler
+        if not record or record.get("kind") != "ctrl_handle":
+            return
+        packet = record.get("packet")
+        if packet is None:
+            return
+        installed = {
+            call[1] for call in record["calls"] if call[0] == "install_rule"
+        }
+        if not installed:
+            return  # not a new-flow installation event
+        expected = self.expected_path(system.app, packet)
+        if isinstance(expected, set):
+            acceptable = [expected]
+        else:
+            acceptable = [set(option) for option in expected]
+        if not any(installed == option for option in acceptable):
+            self.violation(
+                f"flow {packet.flow_key()} installed rules at "
+                f"{sorted(installed)} but the load state requires one of "
+                f"{[sorted(o) for o in acceptable]}"
+            )

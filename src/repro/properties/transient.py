@@ -1,0 +1,79 @@
+"""Transient-loss-tolerant NoBlackHoles — the paper's "ongoing work".
+
+Section 8.1, discussing the BUG-I fix: a hard timeout turns *persistent*
+packet loss into *transient* loss (packets sent before the stale rule
+expires still disappear), and "designing a new NoBlackHoles property that is
+robust to transient loss is part of our ongoing work."
+
+This property implements that refinement: a flow is black-holed only when
+its loss is persistent — at the end of execution, more than
+``tolerance`` packets of the same flow went undelivered *and* the flow never
+recovered (no later packet of the flow reached a host).  A short transient
+episode (up to ``tolerance`` lost packets, or losses followed by successful
+delivery) passes.
+"""
+
+from __future__ import annotations
+
+from repro.properties.base import Property
+
+
+class TransientSafeNoBlackHoles(Property):
+    """NoBlackHoles, robust to transient loss episodes."""
+
+    name = "TransientSafeNoBlackHoles"
+
+    def __init__(self, tolerance: int = 1):
+        """``tolerance``: lost packets per flow forgiven when the flow never
+        recovers; losses followed by a successful delivery are always
+        forgiven (the network healed)."""
+        self.tolerance = tolerance
+
+    def check_quiescent(self, system) -> None:
+        delivered_uids = {entry[0] for entry in system.ledger.delivered}
+        consumed_uids = set()
+        buffered_uids = set()
+        for switch in system.switches.values():
+            for kind, uid, _copy in switch.dropped:
+                if kind == "ctrl_discard":
+                    consumed_uids.add(uid)
+            for packet, _port in switch.buffers.values():
+                buffered_uids.add(packet.uid)
+
+        # Walk the fate log in order, grouping by flow: track, per flow,
+        # the number of undelivered packets and whether a delivery ever
+        # followed a loss (recovery).
+        flow_outcomes: dict[tuple, list[tuple[str, tuple]]] = {}
+        for entry in system.ledger.log:
+            kind = entry[0]
+            if kind == "inj":
+                _, uid, _host, flow = entry
+                flow_outcomes.setdefault(flow, []).append(("inj", uid))
+            elif kind == "del":
+                _, uid, _host, flow = entry
+                flow_outcomes.setdefault(flow, []).append(("del", uid))
+
+        for flow, events in flow_outcomes.items():
+            lost_run = 0
+            recovered = False
+            undelivered = []
+            for kind, uid in events:
+                if kind == "inj":
+                    fate_known = (uid in delivered_uids
+                                  or uid in consumed_uids
+                                  or uid in buffered_uids)
+                    if not fate_known:
+                        undelivered.append(uid)
+                        lost_run += 1
+                elif kind == "del":
+                    if lost_run:
+                        recovered = True
+                    lost_run = 0
+            if recovered:
+                continue  # the network healed: transient episode
+            if len(undelivered) > self.tolerance:
+                self.violation(
+                    f"flow {flow} persistently black-holed: "
+                    f"{len(undelivered)} packets never delivered "
+                    f"(tolerance {self.tolerance}) — {undelivered}"
+                )

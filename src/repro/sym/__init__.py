@@ -1,0 +1,63 @@
+"""Concolic execution of controller event handlers (Sections 3 and 6).
+
+The paper avoids modifying the Python interpreter by using *concolic*
+(concrete + symbolic) execution: handlers run with concrete inputs wrapped in
+proxy objects that record every data-dependent branch as a constraint.  The
+engine then flips branch constraints DART-style, asks the solver for fresh
+concrete inputs, and re-runs until all feasible handler paths are covered —
+yielding one representative packet per equivalence class (Figure 4).
+
+Modules:
+
+* :mod:`repro.sym.expr` — the constraint expression language;
+* :mod:`repro.sym.concolic` — ``SymInt`` / ``SymBool`` / ``SymBytes``
+  proxies (the paper's "symbolic integer" data type and byte arrays);
+* :mod:`repro.sym.symdict` — the dictionary stub substituted into controller
+  state (the paper's AST transformation (iv));
+* :mod:`repro.sym.solver` — constraint solving over the finite,
+  domain-knowledge-constrained header domains (the paper used STP);
+* :mod:`repro.sym.packets` — symbolic packets (Section 3.2);
+* :mod:`repro.sym.engine` — the DART loop and the ``discover_packets`` /
+  ``discover_stats`` entry points used by the model checker.
+"""
+
+from repro.sym.concolic import PathRecorder, SymBool, SymBytes, SymInt
+from repro.sym.engine import ConcolicEngine
+from repro.sym.expr import (
+    BinOp,
+    ByteAt,
+    Cmp,
+    Const,
+    InSet,
+    Not,
+    Var,
+    eval_bool,
+    eval_expr,
+    expr_vars,
+    negate,
+)
+from repro.sym.packets import SymbolicPacketFactory
+from repro.sym.solver import Solver
+from repro.sym.symdict import SymDict
+
+__all__ = [
+    "BinOp",
+    "ByteAt",
+    "Cmp",
+    "ConcolicEngine",
+    "Const",
+    "InSet",
+    "Not",
+    "PathRecorder",
+    "Solver",
+    "SymBool",
+    "SymBytes",
+    "SymDict",
+    "SymInt",
+    "SymbolicPacketFactory",
+    "Var",
+    "eval_bool",
+    "eval_expr",
+    "expr_vars",
+    "negate",
+]

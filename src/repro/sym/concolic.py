@@ -1,0 +1,292 @@
+"""Concolic proxy values.
+
+Section 6: "we first implement a new 'symbolic integer' data type that
+tracks assignments, changes and comparisons to its value while behaving like
+a normal integer from the program point of view.  We also implement arrays
+(tuples in Python terminology) of these symbolic integers."
+
+:class:`SymInt` and :class:`SymBytes` wrap a concrete value plus a symbolic
+expression; every comparison yields a :class:`SymBool` whose ``__bool__``
+records the branch (expression + concrete outcome) in the active
+:class:`PathRecorder` and then lets execution proceed along the concrete
+path.  Python short-circuits ``and`` / ``or`` through ``__bool__``, which
+gives exactly the split-composite-predicate behavior the paper obtains by
+AST rewriting (item (i) of Section 6).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SymbolicError
+from repro.openflow.packet import MacAddress
+from repro.sym.expr import BinOp, ByteAt, Cmp, Const, Expr
+
+
+class PathRecorder:
+    """Collects the branch constraints of one concolic run, in order."""
+
+    def __init__(self):
+        self.branches: list[tuple[Expr, bool]] = []
+
+    def record(self, expr: Expr, outcome: bool) -> None:
+        self.branches.append((expr, bool(outcome)))
+
+    def path_key(self) -> tuple:
+        return tuple((expr.key(), outcome) for expr, outcome in self.branches)
+
+    def __len__(self):
+        return len(self.branches)
+
+
+def _to_expr(value) -> Expr:
+    if isinstance(value, SymInt):
+        return value.expr
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, int):
+        return Const(value)
+    if isinstance(value, MacAddress):
+        return Const(value.to_int())
+    if isinstance(value, SymBytes):
+        return value.expr
+    raise SymbolicError(f"cannot lift {value!r} into an expression")
+
+
+def concrete_of(value):
+    """The concrete value beneath a (possibly) symbolic one."""
+    if isinstance(value, SymInt):
+        return value.concrete
+    if isinstance(value, SymBytes):
+        return value.concrete
+    return value
+
+
+class SymBool:
+    """A boolean whose truth test records a path constraint."""
+
+    __slots__ = ("concrete", "expr", "recorder")
+
+    def __init__(self, concrete: bool, expr: Expr, recorder: PathRecorder):
+        self.concrete = bool(concrete)
+        self.expr = expr
+        self.recorder = recorder
+
+    def __bool__(self) -> bool:
+        self.recorder.record(self.expr, self.concrete)
+        return self.concrete
+
+    def __repr__(self):
+        return f"SymBool({self.concrete}, {self.expr!r})"
+
+
+class SymInt:
+    """An integer proxy: concrete value + expression."""
+
+    __slots__ = ("concrete", "expr", "recorder")
+
+    def __init__(self, concrete: int, expr: Expr, recorder: PathRecorder):
+        self.concrete = int(concrete)
+        self.expr = expr
+        self.recorder = recorder
+
+    # -- arithmetic / bit operations --------------------------------------
+
+    def _binop(self, op: str, other, reflected: bool = False):
+        other_concrete = concrete_of(other)
+        if not isinstance(other_concrete, int):
+            return NotImplemented
+        left, right = (other, self) if reflected else (self, other)
+        import operator
+
+        py_ops = {
+            "add": operator.add, "sub": operator.sub, "mul": operator.mul,
+            "floordiv": operator.floordiv, "mod": operator.mod,
+            "and": operator.and_, "or": operator.or_, "xor": operator.xor,
+            "lshift": operator.lshift, "rshift": operator.rshift,
+        }
+        concrete = py_ops[op](concrete_of(left), concrete_of(right))
+        expr = BinOp(op, _to_expr(left), _to_expr(right))
+        return SymInt(concrete, expr, self.recorder)
+
+    def __add__(self, other):
+        return self._binop("add", other)
+
+    def __radd__(self, other):
+        return self._binop("add", other, reflected=True)
+
+    def __sub__(self, other):
+        return self._binop("sub", other)
+
+    def __rsub__(self, other):
+        return self._binop("sub", other, reflected=True)
+
+    def __mul__(self, other):
+        return self._binop("mul", other)
+
+    def __rmul__(self, other):
+        return self._binop("mul", other, reflected=True)
+
+    def __floordiv__(self, other):
+        return self._binop("floordiv", other)
+
+    def __rfloordiv__(self, other):
+        return self._binop("floordiv", other, reflected=True)
+
+    def __mod__(self, other):
+        return self._binop("mod", other)
+
+    def __rmod__(self, other):
+        return self._binop("mod", other, reflected=True)
+
+    def __and__(self, other):
+        return self._binop("and", other)
+
+    def __rand__(self, other):
+        return self._binop("and", other, reflected=True)
+
+    def __or__(self, other):
+        return self._binop("or", other)
+
+    def __ror__(self, other):
+        return self._binop("or", other, reflected=True)
+
+    def __xor__(self, other):
+        return self._binop("xor", other)
+
+    def __rxor__(self, other):
+        return self._binop("xor", other, reflected=True)
+
+    def __lshift__(self, other):
+        return self._binop("lshift", other)
+
+    def __rshift__(self, other):
+        return self._binop("rshift", other)
+
+    # -- comparisons -------------------------------------------------------
+
+    def _cmp(self, op: str, other):
+        other_concrete = concrete_of(other)
+        if isinstance(other_concrete, MacAddress):
+            other_concrete = other_concrete.to_int()
+        if not isinstance(other_concrete, int):
+            return NotImplemented
+        import operator
+
+        py_ops = {"eq": operator.eq, "ne": operator.ne, "lt": operator.lt,
+                  "le": operator.le, "gt": operator.gt, "ge": operator.ge}
+        concrete = py_ops[op](self.concrete, other_concrete)
+        return SymBool(concrete, Cmp(op, self.expr, _to_expr(other)),
+                       self.recorder)
+
+    def __eq__(self, other):
+        return self._cmp("eq", other)
+
+    def __ne__(self, other):
+        return self._cmp("ne", other)
+
+    def __lt__(self, other):
+        return self._cmp("lt", other)
+
+    def __le__(self, other):
+        return self._cmp("le", other)
+
+    def __gt__(self, other):
+        return self._cmp("gt", other)
+
+    def __ge__(self, other):
+        return self._cmp("ge", other)
+
+    # -- conversions ---------------------------------------------------
+
+    def __bool__(self) -> bool:
+        """Truthiness is a branch on ``value != 0``."""
+        self.recorder.record(Cmp("ne", self.expr, Const(0)),
+                             self.concrete != 0)
+        return self.concrete != 0
+
+    def __hash__(self):
+        return hash(self.concrete)
+
+    def __int__(self):
+        return self.concrete
+
+    def __index__(self):
+        return self.concrete
+
+    def __repr__(self):
+        return f"SymInt({self.concrete}, {self.expr!r})"
+
+
+class SymBytes:
+    """A fixed-width multi-byte value (MAC address) with byte access.
+
+    The paper keeps each header field one lazily-initialized symbolic
+    variable while still allowing byte- and bit-level access; ``mac[0]``
+    here yields a :class:`SymInt` over a ``ByteAt`` extraction of the single
+    48-bit variable.
+    """
+
+    __slots__ = ("concrete", "expr", "recorder", "width_bytes")
+
+    def __init__(self, concrete: MacAddress, expr: Expr,
+                 recorder: PathRecorder, width_bytes: int = 6):
+        self.concrete = concrete
+        self.expr = expr
+        self.recorder = recorder
+        self.width_bytes = width_bytes
+
+    def __getitem__(self, index: int) -> SymInt:
+        if not 0 <= index < self.width_bytes:
+            raise IndexError(index)
+        return SymInt(self.concrete[index],
+                      ByteAt(self.expr, index, self.width_bytes),
+                      self.recorder)
+
+    def __len__(self):
+        return self.width_bytes
+
+    def _cmp_value(self, other):
+        other = concrete_of(other)
+        if isinstance(other, MacAddress):
+            return other
+        if isinstance(other, (tuple, list)) and len(other) == self.width_bytes:
+            return MacAddress(other)
+        return None
+
+    def __eq__(self, other):
+        if isinstance(other, SymBytes):
+            concrete = self.concrete == other.concrete
+            return SymBool(concrete, Cmp("eq", self.expr, other.expr),
+                           self.recorder)
+        value = self._cmp_value(other)
+        if value is None:
+            return NotImplemented
+        return SymBool(self.concrete == value,
+                       Cmp("eq", self.expr, Const(value.to_int())),
+                       self.recorder)
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        from repro.sym.expr import negate
+
+        return SymBool(not result.concrete, negate(result.expr), self.recorder)
+
+    def __hash__(self):
+        return hash(self.concrete)
+
+    @property
+    def is_broadcast(self) -> SymBool:
+        """Group-address test, mirroring ``mac[0] & 1`` as a symbolic branch."""
+        bit = BinOp("and", ByteAt(self.expr, 0, self.width_bytes), Const(1))
+        return SymBool(bool(self.concrete[0] & 1), Cmp("ne", bit, Const(0)),
+                       self.recorder)
+
+    def to_int(self) -> int:
+        return self.concrete.to_int()
+
+    def canonical(self) -> str:
+        return self.concrete.canonical()
+
+    def __repr__(self):
+        return f"SymBytes({self.concrete}, {self.expr!r})"

@@ -1,0 +1,224 @@
+"""The concolic engine: DART-style path exploration of event handlers.
+
+``discover_packets`` concolically executes the ``packet_in`` handler from
+the *current concrete controller state* (Section 3.2: "we apply symbolic
+execution by using these concrete variables as the initial state and by
+marking as symbolic the packets and statistics arguments to the handlers").
+Every explored handler path yields one representative packet; the model
+checker turns each into an enabled ``send`` transition (Figure 4).
+
+``discover_stats`` does the same for the statistics handler with symbolic
+integers as counters — how NICE steers threshold-style logic (the energy-
+aware traffic-engineering application changes behavior when utilization
+crosses a limit the model's tiny traffic volumes would never reach).
+
+The loop is classic concolic testing (DART [24]): run concretely, record the
+branch sequence, then for every prefix solve "prefix holds ∧ branch_i
+flipped"; each satisfying assignment seeds another run.  Exploration is
+bounded by ``max_paths`` (Section 9 discusses the trade-off).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.controller.api import RecordingControllerAPI
+from repro.errors import SolverError
+from repro.openflow.messages import OFPR_NO_MATCH
+from repro.openflow.packet import Packet
+from repro.sym.concolic import PathRecorder, SymInt
+from repro.sym.expr import Expr, Var, negate
+from repro.sym.packets import SymbolicPacketFactory
+from repro.sym.solver import Domain, Solver, stats_candidates
+from repro.sym.symdict import SymDict
+
+#: Statistics counters made symbolic per port.
+STAT_COUNTERS = ("rx_packets", "tx_packets", "rx_bytes", "tx_bytes")
+
+
+def _wrap_state(value, recorder: PathRecorder):
+    """Recursively substitute dict stubs into a copied controller state."""
+    if isinstance(value, dict):
+        return SymDict(value, recorder)
+    if isinstance(value, list):
+        return [_wrap_state(item, recorder) for item in value]
+    return value
+
+
+def _normalized(branches) -> list[Expr]:
+    """Branch records as positive constraints (expr that actually held)."""
+    return [expr if taken else negate(expr) for expr, taken in branches]
+
+
+class ConcolicEngine:
+    """Discovery entry points used by :class:`repro.mc.search.Searcher`."""
+
+    def __init__(self, max_paths: int = 64):
+        self.max_paths = max_paths
+        #: Cumulative counters, for reporting and the Section 9 trade-off
+        #: benchmarks.
+        self.handler_runs = 0
+        self.solver_calls = 0
+
+    # ------------------------------------------------------------------
+    # Packets
+    # ------------------------------------------------------------------
+
+    def discover_packets(self, app, sw_id: str, in_port: int, topo,
+                         host) -> list[Packet]:
+        """Representative packets, one per feasible ``packet_in`` path."""
+        factory = SymbolicPacketFactory(topo, host, app)
+        solver = Solver(factory.domains())
+        seed = factory.default_assignment()
+
+        def run(assignment):
+            recorder = PathRecorder()
+            prepared = self._prepare_app(app, recorder)
+            packet = factory.make(recorder, assignment)
+            api = RecordingControllerAPI()
+            self.handler_runs += 1
+            try:
+                prepared.packet_in(api, sw_id, in_port, packet, 1,
+                                   OFPR_NO_MATCH)
+            except Exception:  # noqa: BLE001 - a crashing path is a path
+                pass
+            return recorder
+
+        representatives = self._explore(run, solver_for=lambda _c: solver,
+                                        seed=seed)
+        return [
+            factory.packet_from_assignment(assignment, constrained)
+            for assignment, constrained in representatives
+        ]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def discover_stats(self, app, sw_id: str, base_stats: dict) -> list[dict]:
+        """Representative port-stats payloads, one per handler path."""
+        seed: dict[str, int] = {}
+        for port in sorted(base_stats):
+            for counter in STAT_COUNTERS:
+                seed[f"stats_{port}_{counter}"] = int(
+                    base_stats[port].get(counter, 0)
+                )
+
+        def make_stats(recorder, assignment):
+            values = dict(seed)
+            values.update(assignment)
+            stats = {}
+            for port in sorted(base_stats):
+                stats[port] = {
+                    counter: SymInt(
+                        values[f"stats_{port}_{counter}"],
+                        Var(f"stats_{port}_{counter}", 64),
+                        recorder,
+                    )
+                    for counter in STAT_COUNTERS
+                }
+            return stats
+
+        def run(assignment):
+            recorder = PathRecorder()
+            prepared = self._prepare_app(app, recorder)
+            api = RecordingControllerAPI()
+            self.handler_runs += 1
+            try:
+                prepared.port_stats_in(api, sw_id,
+                                       make_stats(recorder, assignment))
+            except Exception:  # noqa: BLE001
+                pass
+            return recorder
+
+        def solver_for(constraints):
+            domains = {}
+            names = set()
+            for constraint in constraints:
+                from repro.sym.expr import expr_vars
+
+                names |= expr_vars(constraint)
+            candidates = stats_candidates(constraints)
+            for name in names:
+                domains[name] = Domain(
+                    name, candidates + [seed.get(name, 0)]
+                )
+            return Solver(domains)
+
+        representatives = self._explore(run, solver_for=solver_for, seed=seed)
+        results = []
+        for assignment, _constrained in representatives:
+            values = dict(seed)
+            values.update(assignment)
+            stats = {}
+            for port in sorted(base_stats):
+                stats[port] = {
+                    counter: values[f"stats_{port}_{counter}"]
+                    for counter in STAT_COUNTERS
+                }
+            results.append(stats)
+        return results
+
+    # ------------------------------------------------------------------
+    # The DART loop
+    # ------------------------------------------------------------------
+
+    def _explore(self, run, solver_for, seed) -> list[tuple[dict, set]]:
+        """Generic concolic loop.
+
+        Returns one ``(assignment, constrained_vars)`` pair per explored
+        path; ``constrained_vars`` are the variables the path actually
+        branched on — the rest are don't-cares of that equivalence class.
+        """
+        worklist: list[dict] = [dict(seed)]
+        seen_assignments: set[tuple] = set()
+        seen_paths: set[tuple] = set()
+        tried_prefixes: set[tuple] = set()
+        representatives: list[tuple[dict, set]] = []
+        runs = 0
+        while worklist and runs < self.max_paths:
+            assignment = worklist.pop()
+            akey = tuple(sorted(assignment.items()))
+            if akey in seen_assignments:
+                continue
+            seen_assignments.add(akey)
+            runs += 1
+            recorder = run(assignment)
+            pkey = recorder.path_key()
+            if pkey not in seen_paths:
+                seen_paths.add(pkey)
+                from repro.sym.expr import expr_vars
+
+                constrained: set = set()
+                for expr, _taken in recorder.branches:
+                    constrained |= expr_vars(expr)
+                representatives.append((assignment, constrained))
+            branches = recorder.branches
+            held = _normalized(branches)
+            for index in range(len(branches)):
+                flipped = held[:index] + [negate(held[index])]
+                prefix_key = tuple(expr.key() for expr in flipped)
+                if prefix_key in tried_prefixes:
+                    continue
+                tried_prefixes.add(prefix_key)
+                solver = solver_for(flipped)
+                self.solver_calls += 1
+                try:
+                    solution = solver.solve(flipped, defaults=seed)
+                except SolverError:
+                    solution = None
+                if solution is not None:
+                    worklist.append(solution)
+        return representatives
+
+    # ------------------------------------------------------------------
+    # State preparation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _prepare_app(app, recorder: PathRecorder):
+        """Deep-copy the application and substitute dict stubs into it."""
+        prepared = copy.deepcopy(app)
+        for name, value in list(vars(prepared).items()):
+            setattr(prepared, name, _wrap_state(value, recorder))
+        return prepared

@@ -1,0 +1,278 @@
+"""The constraint expression language.
+
+Small, first-order, and exactly what OpenFlow handlers need: integer
+variables (multi-byte header fields are 48- or 32-bit integers), constants,
+arithmetic/bit operations, byte extraction (``pkt.src[0]``), comparisons,
+set membership (from dictionary-stub lookups), and boolean negation.
+
+Expressions are immutable, hashable values with a direct evaluator —
+:func:`eval_expr` / :func:`eval_bool` compute an expression under a concrete
+variable assignment, which both the solver and the test suite rely on
+(property-based tests check proxy arithmetic against the evaluator).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SymbolicError
+
+_INT_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "floordiv": lambda a, b: a // b,
+    "mod": lambda a, b: a % b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "lshift": lambda a, b: a << b,
+    "rshift": lambda a, b: a >> b,
+}
+
+_CMP_OPS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+_CMP_NEGATION = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+                 "le": "gt", "gt": "le"}
+
+
+class Expr:
+    """Base class; subclasses are immutable value objects."""
+
+    __slots__ = ()
+
+    def key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+
+class Var(Expr):
+    """A symbolic variable: a header field or statistics counter.
+
+    ``width`` is the bit width (48 for MACs, 32 for IPv4, 16 for ports...);
+    the solver uses it only for sanity bounds.
+    """
+
+    __slots__ = ("name", "width")
+
+    def __init__(self, name: str, width: int = 32):
+        self.name = name
+        self.width = width
+
+    def key(self):
+        return ("var", self.name)
+
+    def __repr__(self):
+        return self.name
+
+
+class Const(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def key(self):
+        return ("const", self.value)
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+class BinOp(Expr):
+    """Integer binary operation (see ``_INT_OPS`` for the op names)."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _INT_OPS:
+            raise SymbolicError(f"unknown integer op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def key(self):
+        return ("binop", self.op, self.left.key(), self.right.key())
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class ByteAt(Expr):
+    """Byte ``index`` (0 = most significant) of a multi-byte variable."""
+
+    __slots__ = ("base", "index", "total_bytes")
+
+    def __init__(self, base: Expr, index: int, total_bytes: int = 6):
+        self.base = base
+        self.index = index
+        self.total_bytes = total_bytes
+
+    def key(self):
+        return ("byteat", self.base.key(), self.index, self.total_bytes)
+
+    def __repr__(self):
+        return f"{self.base!r}[{self.index}]"
+
+
+class Cmp(Expr):
+    """Comparison producing a boolean."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _CMP_OPS:
+            raise SymbolicError(f"unknown comparison {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def key(self):
+        return ("cmp", self.op, self.left.key(), self.right.key())
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class InSet(Expr):
+    """Membership of an integer expression in a finite value set.
+
+    Produced by the dictionary stub: ``pkt.dst in mactable`` becomes
+    ``InSet(dst_var, frozenset(concrete keys))``.
+    """
+
+    __slots__ = ("item", "values")
+
+    def __init__(self, item: Expr, values):
+        self.item = item
+        self.values = frozenset(int(v) for v in values)
+
+    def key(self):
+        return ("inset", self.item.key(), tuple(sorted(self.values)))
+
+    def __repr__(self):
+        return f"({self.item!r} in {sorted(self.values)})"
+
+
+class Not(Expr):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Expr):
+        self.inner = inner
+
+    def key(self):
+        return ("not", self.inner.key())
+
+    def __repr__(self):
+        return f"!({self.inner!r})"
+
+
+class BoolConst(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def key(self):
+        return ("bool", self.value)
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+def negate(expr: Expr) -> Expr:
+    """Logical negation, simplified where cheap."""
+    if isinstance(expr, Not):
+        return expr.inner
+    if isinstance(expr, Cmp):
+        return Cmp(_CMP_NEGATION[expr.op], expr.left, expr.right)
+    if isinstance(expr, BoolConst):
+        return BoolConst(not expr.value)
+    return Not(expr)
+
+
+def eval_expr(expr: Expr, assignment: dict) -> int:
+    """Evaluate an integer expression under ``assignment`` (name -> int)."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return int(assignment[expr.name])
+        except KeyError:
+            raise SymbolicError(f"unassigned variable {expr.name!r}") from None
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, assignment)
+        right = eval_expr(expr.right, assignment)
+        if expr.op in ("floordiv", "mod") and right == 0:
+            raise SymbolicError("division by zero during evaluation")
+        return _INT_OPS[expr.op](left, right)
+    if isinstance(expr, ByteAt):
+        base = eval_expr(expr.base, assignment)
+        shift = 8 * (expr.total_bytes - 1 - expr.index)
+        return (base >> shift) & 0xFF
+    raise SymbolicError(f"not an integer expression: {expr!r}")
+
+
+def eval_bool(expr: Expr, assignment: dict) -> bool:
+    """Evaluate a boolean expression under ``assignment``."""
+    if isinstance(expr, BoolConst):
+        return expr.value
+    if isinstance(expr, Not):
+        return not eval_bool(expr.inner, assignment)
+    if isinstance(expr, Cmp):
+        return _CMP_OPS[expr.op](
+            eval_expr(expr.left, assignment), eval_expr(expr.right, assignment)
+        )
+    if isinstance(expr, InSet):
+        return eval_expr(expr.item, assignment) in expr.values
+    raise SymbolicError(f"not a boolean expression: {expr!r}")
+
+
+def expr_vars(expr: Expr) -> set[str]:
+    """All variable names occurring in an expression."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, (Const, BoolConst)):
+        return set()
+    if isinstance(expr, BinOp):
+        return expr_vars(expr.left) | expr_vars(expr.right)
+    if isinstance(expr, Cmp):
+        return expr_vars(expr.left) | expr_vars(expr.right)
+    if isinstance(expr, ByteAt):
+        return expr_vars(expr.base)
+    if isinstance(expr, InSet):
+        return expr_vars(expr.item)
+    if isinstance(expr, Not):
+        return expr_vars(expr.inner)
+    raise SymbolicError(f"unknown expression {expr!r}")
+
+
+def expr_constants(expr: Expr) -> set[int]:
+    """All integer constants in an expression (solver candidate seeds)."""
+    if isinstance(expr, Const):
+        return {expr.value}
+    if isinstance(expr, (Var, BoolConst)):
+        return set()
+    if isinstance(expr, BinOp):
+        return expr_constants(expr.left) | expr_constants(expr.right)
+    if isinstance(expr, Cmp):
+        return expr_constants(expr.left) | expr_constants(expr.right)
+    if isinstance(expr, ByteAt):
+        return expr_constants(expr.base)
+    if isinstance(expr, InSet):
+        return set(expr.values) | expr_constants(expr.item)
+    if isinstance(expr, Not):
+        return expr_constants(expr.inner)
+    raise SymbolicError(f"unknown expression {expr!r}")

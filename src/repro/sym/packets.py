@@ -1,0 +1,167 @@
+"""Symbolic packets (Section 3.2).
+
+"Rather than view a packet as a generic array of symbolic bytes, we
+introduce symbolic packets as our symbolic data type.  A symbolic packet is
+a group of symbolic integer variables that each represents a header field...
+We also apply domain knowledge to further constrain the possible values of
+header fields (e.g., the MAC and IP addresses used by the hosts and switches
+in the system model, as specified by the input topology)."
+
+The factory builds (a) the proxy-valued :class:`~repro.openflow.packet.
+Packet` handed to the handler during a concolic run, and (b) concrete
+representative packets from solver assignments.
+
+The sending host's source addresses are pinned to its own MAC/IP — clients
+inject their own traffic — while destination fields range over the
+topology's addresses plus broadcast and one "fresh" (unknown) value each, so
+handlers' unknown-destination paths stay reachable.  Applications can extend
+the domains (e.g. the load balancer adds its virtual IP) via a
+``symbolic_domains()`` hook.
+"""
+
+from __future__ import annotations
+
+from repro.openflow.packet import (
+    ETH_TYPE_ARP,
+    ETH_TYPE_IP,
+    ETH_TYPE_LLDP,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    MacAddress,
+    Packet,
+    TCP_ACK,
+    TCP_SYN,
+)
+from repro.sym.concolic import PathRecorder, SymBytes, SymInt
+from repro.sym.expr import Var
+from repro.sym.solver import Domain
+
+#: A MAC that belongs to no modeled host — the "unknown destination".
+FRESH_MAC = 0xFEFEFEFEFEFE
+#: An IP that belongs to no modeled host.
+FRESH_IP = 0xC0A8FEFE  # 192.168.254.254
+
+#: (field name, bit width) of every symbolic packet variable.
+PACKET_FIELDS = (
+    ("eth_src", 48),
+    ("eth_dst", 48),
+    ("eth_type", 16),
+    ("ip_src", 32),
+    ("ip_dst", 32),
+    ("nw_proto", 8),
+    ("tp_src", 16),
+    ("tp_dst", 16),
+    ("tcp_flags", 8),
+    ("arp_op", 8),
+)
+
+
+class SymbolicPacketFactory:
+    """Builds symbolic packets and their solution-space domains."""
+
+    def __init__(self, topo, host, app=None):
+        self.topo = topo
+        self.host = host
+        mac_ints = sorted(mac.to_int() for mac in topo.mac_addresses())
+        ip_ints = sorted(topo.ip_addresses())
+        extra: dict[str, list[int]] = {}
+        hook = getattr(app, "symbolic_domains", None)
+        if callable(hook):
+            extra = {name: [int(v) for v in values]
+                     for name, values in hook().items()}
+
+        def merged(name: str, base: list[int]) -> list[int]:
+            values = list(base)
+            for value in extra.get(name, []):
+                if value not in values:
+                    values.append(value)
+            return values
+
+        self._domains = {
+            "eth_src": Domain("eth_src", merged("eth_src", [host.mac.to_int()])),
+            "eth_dst": Domain("eth_dst", merged(
+                "eth_dst",
+                [m for m in mac_ints if m != host.mac.to_int()]
+                + [MacAddress.broadcast().to_int(), FRESH_MAC],
+            )),
+            "eth_type": Domain("eth_type", merged(
+                "eth_type", [ETH_TYPE_IP, ETH_TYPE_ARP, ETH_TYPE_LLDP])),
+            "ip_src": Domain("ip_src", merged("ip_src", [host.ip])),
+            "ip_dst": Domain("ip_dst", merged(
+                "ip_dst",
+                [ip for ip in ip_ints if ip != host.ip] + [FRESH_IP])),
+            "nw_proto": Domain("nw_proto", merged(
+                "nw_proto", [IPPROTO_TCP, IPPROTO_UDP, IPPROTO_ICMP])),
+            "tp_src": Domain("tp_src", merged("tp_src", [1000, 1001])),
+            "tp_dst": Domain("tp_dst", merged("tp_dst", [80, 8080])),
+            "tcp_flags": Domain("tcp_flags", merged(
+                "tcp_flags", [TCP_SYN, TCP_ACK, 0, TCP_SYN | TCP_ACK])),
+            "arp_op": Domain("arp_op", merged("arp_op", [1, 2])),
+        }
+
+    def domains(self) -> dict[str, Domain]:
+        return dict(self._domains)
+
+    def default_assignment(self) -> dict[str, int]:
+        """The seed: the first candidate of every field."""
+        return {name: domain.candidates[0]
+                for name, domain in self._domains.items()}
+
+    def make(self, recorder: PathRecorder, assignment: dict[str, int]) -> Packet:
+        """A Packet whose fields are concolic proxies under ``assignment``."""
+        values = self.default_assignment()
+        values.update(assignment)
+
+        def sym_int(name: str, width: int) -> SymInt:
+            return SymInt(values[name], Var(name, width), recorder)
+
+        def sym_mac(name: str) -> SymBytes:
+            return SymBytes(MacAddress.from_int(values[name]),
+                            Var(name, 48), recorder)
+
+        packet = Packet(
+            eth_src=MacAddress.from_int(values["eth_src"]),
+            eth_dst=MacAddress.from_int(values["eth_dst"]),
+        )
+        packet.eth_src = sym_mac("eth_src")
+        packet.eth_dst = sym_mac("eth_dst")
+        packet.eth_type = sym_int("eth_type", 16)
+        packet.ip_src = sym_int("ip_src", 32)
+        packet.ip_dst = sym_int("ip_dst", 32)
+        packet.nw_proto = sym_int("nw_proto", 8)
+        packet.tp_src = sym_int("tp_src", 16)
+        packet.tp_dst = sym_int("tp_dst", 16)
+        packet.tcp_flags = sym_int("tcp_flags", 8)
+        packet.arp_op = sym_int("arp_op", 8)
+        return packet
+
+    def packet_from_assignment(self, assignment: dict[str, int],
+                               constrained: set | None = None) -> Packet:
+        """The concrete representative packet of an equivalence class.
+
+        Fields the path never branched on are don't-cares: they are set to
+        zero so a representative does not accidentally carry semantic noise
+        (e.g. leftover TCP defaults inside an ARP-typed class) into the
+        model.  Pinned single-candidate fields (the sender's own addresses)
+        always keep their value.
+        """
+        values = self.default_assignment()
+        values.update(assignment)
+        if constrained is not None:
+            for name, domain in self._domains.items():
+                if name in constrained or len(domain.candidates) == 1:
+                    continue
+                values[name] = 0
+        return Packet(
+            eth_src=MacAddress.from_int(values["eth_src"]),
+            eth_dst=MacAddress.from_int(values["eth_dst"]),
+            eth_type=values["eth_type"],
+            ip_src=values["ip_src"],
+            ip_dst=values["ip_dst"],
+            nw_proto=values["nw_proto"],
+            tp_src=values["tp_src"],
+            tp_dst=values["tp_dst"],
+            tcp_flags=values["tcp_flags"],
+            arp_op=values["arp_op"],
+        )

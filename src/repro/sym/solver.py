@@ -1,0 +1,122 @@
+"""Constraint solving over finite header-field domains.
+
+The paper hands path constraints to the STP bit-vector solver.  Offline, we
+exploit the same *domain knowledge* the paper applies to header fields
+(Section 3.2: "we apply domain knowledge to further constrain the possible
+values of header fields, e.g. the MAC and IP addresses used by the hosts and
+switches in the system model") — every variable ranges over a small
+candidate set derived from the topology plus a handful of fresh values, so
+backtracking enumeration with per-constraint early evaluation decides the
+same constraint language exactly.
+
+For statistics variables (unbounded counters), candidates are synthesized
+from the constants appearing in the constraints (boundary values c-1, c,
+c+1, scaled combinations), the standard trick for threshold-style handler
+code.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SolverError
+from repro.sym.expr import Expr, eval_bool, expr_constants, expr_vars
+
+
+class Domain:
+    """Candidate values for one variable."""
+
+    def __init__(self, name: str, candidates: list[int]):
+        self.name = name
+        seen = set()
+        self.candidates = []
+        for value in candidates:
+            value = int(value)
+            if value not in seen:
+                seen.add(value)
+                self.candidates.append(value)
+        if not self.candidates:
+            raise SolverError(f"empty domain for {name!r}")
+
+    def __repr__(self):
+        return f"Domain({self.name}, {self.candidates})"
+
+
+def stats_candidates(constraints: list[Expr], base: int = 0) -> list[int]:
+    """Candidate counter values derived from constraint constants."""
+    constants: set[int] = set()
+    for constraint in constraints:
+        constants |= expr_constants(constraint)
+    candidates = {0, 1, base}
+    for constant in constants:
+        if constant < 0:
+            continue
+        candidates.update({constant, constant + 1, max(constant - 1, 0),
+                           constant * 2, constant // 2, constant * 100,
+                           constant * 1000})
+    return sorted(candidates)
+
+
+class Solver:
+    """Backtracking enumeration with early constraint evaluation."""
+
+    def __init__(self, domains: dict[str, Domain], max_checks: int = 200000):
+        self.domains = domains
+        self.max_checks = max_checks
+
+    def solve(self, constraints: list[Expr],
+              defaults: dict[str, int] | None = None) -> dict[str, int] | None:
+        """Find an assignment satisfying every constraint, or None.
+
+        Variables not mentioned in any constraint take their ``defaults``
+        value (the current concrete seed), keeping representatives minimal.
+        """
+        defaults = dict(defaults or {})
+        variables = set()
+        for constraint in constraints:
+            variables |= expr_vars(constraint)
+        unknown = variables - set(self.domains)
+        if unknown:
+            raise SolverError(f"variables without domains: {sorted(unknown)}")
+        ordered = sorted(variables)
+        # Constraints become checkable once all their variables are bound;
+        # index them by the latest-bound variable for early pruning.
+        position = {name: i for i, name in enumerate(ordered)}
+        by_depth: list[list[Expr]] = [[] for _ in ordered]
+        ground: list[Expr] = []
+        for constraint in constraints:
+            used = expr_vars(constraint)
+            if not used:
+                ground.append(constraint)
+                continue
+            depth = max(position[name] for name in used)
+            by_depth[depth].append(constraint)
+        for constraint in ground:
+            if not eval_bool(constraint, {}):
+                return None
+
+        assignment: dict[str, int] = {}
+        checks = 0
+
+        def backtrack(depth: int) -> bool:
+            nonlocal checks
+            if depth == len(ordered):
+                return True
+            name = ordered[depth]
+            for value in self.domains[name].candidates:
+                assignment[name] = value
+                checks += 1
+                if checks > self.max_checks:
+                    raise SolverError("solver budget exceeded")
+                if all(eval_bool(c, assignment) for c in by_depth[depth]):
+                    if backtrack(depth + 1):
+                        return True
+            assignment.pop(name, None)
+            return False
+
+        if not backtrack(0):
+            return None
+        solution = dict(defaults)
+        solution.update(assignment)
+        return solution
+
+    def is_satisfiable(self, constraints: list[Expr]) -> bool:
+        return self.solve(constraints) is not None

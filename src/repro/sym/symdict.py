@@ -1,0 +1,155 @@
+"""The dictionary stub (Section 6, transformation (iv)).
+
+"We substitute the built-in dictionary with a special stub that exposes the
+constraints."  Plain dict lookups with a symbolic key would silently
+concretize through ``__hash__`` — a key that is *absent* under the concrete
+value never triggers ``__eq__``, so the "present" path would be lost.  The
+stub makes both outcomes visible: membership tests record an ``InSet``
+constraint over the concrete keys, and successful lookups record equality
+with the matched key.
+
+Before a concolic run, the engine walks a *copy* of the controller state and
+replaces every dict with a :class:`SymDict` (recursively on access), so the
+application under test never needs modification.
+"""
+
+from __future__ import annotations
+
+from repro.openflow.packet import MacAddress
+from repro.sym.concolic import PathRecorder, SymBytes, SymInt
+from repro.sym.expr import Cmp, Const, InSet, negate
+
+
+def _key_to_int(key) -> int | None:
+    """Concrete integer form of a dict key, when it has one."""
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key
+    if isinstance(key, MacAddress):
+        return key.to_int()
+    return None
+
+
+def _is_symbolic(key) -> bool:
+    return isinstance(key, (SymInt, SymBytes))
+
+
+def _concretize_key(key):
+    if isinstance(key, SymInt):
+        return key.concrete
+    if isinstance(key, SymBytes):
+        return key.concrete
+    return key
+
+
+class SymDict:
+    """A dict wrapper that records constraints on symbolic-key operations."""
+
+    def __init__(self, data: dict, recorder: PathRecorder):
+        self._data = data
+        self._recorder = recorder
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def _int_keys(self) -> list[int]:
+        keys = []
+        for key in self._data:
+            as_int = _key_to_int(key)
+            if as_int is not None:
+                keys.append(as_int)
+        return keys
+
+    def __contains__(self, key) -> bool:
+        if not _is_symbolic(key):
+            return key in self._data
+        concrete = _concretize_key(key)
+        present = concrete in self._data
+        constraint = InSet(key.expr, self._int_keys())
+        self._recorder.record(constraint if present else negate(constraint),
+                              True)
+        return present
+
+    def has_key(self, key) -> bool:
+        """Python-2-era alias kept because Figure 3 uses it."""
+        return self.__contains__(key)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, key):
+        if _is_symbolic(key):
+            concrete = _concretize_key(key)
+            if concrete not in self._data:
+                constraint = InSet(key.expr, self._int_keys())
+                self._recorder.record(negate(constraint), True)
+                raise KeyError(concrete)
+            matched_int = _key_to_int(concrete)
+            if matched_int is not None:
+                self._recorder.record(
+                    Cmp("eq", key.expr, Const(matched_int)), True
+                )
+            return self._wrap(self._data[concrete])
+        return self._wrap(self._data[key])
+
+    def get(self, key, default=None):
+        if _is_symbolic(key):
+            concrete = _concretize_key(key)
+            present = concrete in self._data
+            constraint = InSet(key.expr, self._int_keys())
+            self._recorder.record(constraint if present else negate(constraint),
+                                  True)
+            if not present:
+                return default
+            matched_int = _key_to_int(concrete)
+            if matched_int is not None:
+                self._recorder.record(
+                    Cmp("eq", key.expr, Const(matched_int)), True
+                )
+            return self._wrap(self._data[concrete])
+        if key in self._data:
+            return self._wrap(self._data[key])
+        return default
+
+    def __setitem__(self, key, value) -> None:
+        self._data[_concretize_key(key)] = value
+
+    def __delitem__(self, key) -> None:
+        del self._data[_concretize_key(key)]
+
+    def setdefault(self, key, default=None):
+        concrete = _concretize_key(key)
+        if concrete not in self._data:
+            self._data[concrete] = default
+        return self._wrap(self._data[concrete])
+
+    def _wrap(self, value):
+        """Nested dicts become stubs lazily, on access."""
+        if isinstance(value, dict):
+            return SymDict(value, self._recorder)
+        return value
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._data)
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def keys(self):
+        return self._data.keys()
+
+    def values(self):
+        return self._data.values()
+
+    def items(self):
+        return self._data.items()
+
+    def __repr__(self):
+        return f"SymDict({self._data!r})"

@@ -1,0 +1,8 @@
+"""Network topologies: switches, hosts, ports, and links."""
+
+from repro.topo.builder import topology_from_spec, topology_to_spec
+from repro.topo.spanning_tree import spanning_tree_ports
+from repro.topo.topology import Endpoint, HostSpec, Topology
+
+__all__ = ["Endpoint", "HostSpec", "Topology", "spanning_tree_ports",
+           "topology_from_spec", "topology_to_spec"]

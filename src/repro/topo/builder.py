@@ -1,0 +1,73 @@
+"""Declarative topology construction.
+
+NICE's input includes "the specification of a topology with switches and
+hosts" (Section 1.3).  :func:`topology_from_spec` builds a
+:class:`~repro.topo.topology.Topology` from a plain dict — the natural shape
+for a JSON/YAML file — so scenarios can live in configuration instead of
+code:
+
+>>> spec = {
+...     "switches": {"s1": [1, 2], "s2": [1, 2]},
+...     "links": [["s1", 2, "s2", 1]],
+...     "hosts": {
+...         "A": {"mac": "00:00:00:00:00:01", "ip": "10.0.0.1",
+...               "switch": "s1", "port": 1},
+...         "B": {"mac": "00:00:00:00:00:02", "ip": "10.0.0.2",
+...               "switch": "s2", "port": 2},
+...     },
+... }
+>>> topo = topology_from_spec(spec)
+>>> sorted(topo.switches)
+['s1', 's2']
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topo.topology import Topology
+
+
+def topology_from_spec(spec: dict) -> Topology:
+    """Build and validate a topology from a declarative dict."""
+    if not isinstance(spec, dict):
+        raise TopologyError("topology spec must be a dict")
+    topo = Topology()
+    switches = spec.get("switches")
+    if not switches:
+        raise TopologyError("topology spec needs a 'switches' section")
+    for name, ports in switches.items():
+        topo.add_switch(str(name), [int(p) for p in ports])
+    for link in spec.get("links", []):
+        if len(link) != 4:
+            raise TopologyError(f"link needs [sw1, port1, sw2, port2]: {link}")
+        sw1, port1, sw2, port2 = link
+        topo.add_link(str(sw1), int(port1), str(sw2), int(port2))
+    for name, host in spec.get("hosts", {}).items():
+        missing = {"mac", "ip", "switch", "port"} - set(host)
+        if missing:
+            raise TopologyError(
+                f"host {name!r} spec missing {sorted(missing)}")
+        topo.add_host(str(name), host["mac"], host["ip"],
+                      str(host["switch"]), int(host["port"]))
+    topo.validate()
+    return topo
+
+
+def topology_to_spec(topo: Topology) -> dict:
+    """Inverse of :func:`topology_from_spec` (round-trip safe)."""
+    from repro.openflow.packet import ip_to_string
+
+    return {
+        "switches": {name: list(ports)
+                     for name, ports in topo.switches.items()},
+        "links": [list(link) for link in topo.switch_links()],
+        "hosts": {
+            name: {
+                "mac": repr(spec.mac),
+                "ip": ip_to_string(spec.ip),
+                "switch": spec.switch,
+                "port": spec.port,
+            }
+            for name, spec in topo.hosts.items()
+        },
+    }

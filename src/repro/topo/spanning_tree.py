@@ -1,0 +1,56 @@
+"""Spanning-tree computation for loop-free flooding.
+
+The paper's BUG-III arises because pyswitch floods on cyclic topologies
+without building a spanning tree.  The *fixed* variant uses this module: a
+deterministic BFS spanning tree over the switch graph, from which each switch
+derives the set of ports it may flood on (tree ports plus host ports).
+"""
+
+from __future__ import annotations
+
+from repro.topo.topology import Endpoint, Topology
+
+
+def spanning_tree_links(topo: Topology) -> set[frozenset]:
+    """The switch-to-switch links kept by a BFS spanning tree.
+
+    Deterministic: roots at the lexicographically-smallest switch and visits
+    neighbors in sorted order, so every run picks the same tree.
+    """
+    switches = sorted(topo.switches)
+    if not switches:
+        return set()
+    graph = topo.switch_graph()
+    root = switches[0]
+    visited = {root}
+    frontier = [root]
+    kept: set[frozenset] = set()
+    while frontier:
+        node = frontier.pop(0)
+        for neighbor in sorted(graph[node]):
+            if neighbor in visited:
+                continue
+            visited.add(neighbor)
+            kept.add(frozenset((node, neighbor)))
+            frontier.append(neighbor)
+    return kept
+
+
+def spanning_tree_ports(topo: Topology) -> dict[str, set[int]]:
+    """For each switch, the ports on which flooding is loop-free.
+
+    Includes every host-facing (or unwired) port and the ports of
+    switch-to-switch links that belong to the spanning tree.
+    """
+    kept = spanning_tree_links(topo)
+    ports: dict[str, set[int]] = {}
+    for switch, all_ports in topo.switches.items():
+        allowed: set[int] = set()
+        for port in all_ports:
+            ep = topo.endpoint(switch, port)
+            if ep is None or ep.kind == Endpoint.KIND_HOST:
+                allowed.add(port)
+            elif frozenset((switch, ep.node)) in kept:
+                allowed.add(port)
+        ports[switch] = allowed
+    return ports

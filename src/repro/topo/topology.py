@@ -1,0 +1,185 @@
+"""The static network topology NICE takes as input (Figure 2).
+
+A :class:`Topology` declares switches (with their port numbers), hosts (with
+MAC/IP addresses and an attachment point), and switch-to-switch links.  It is
+purely declarative — the dynamic state (e.g. where a mobile host currently
+sits) lives in :class:`repro.mc.system.System`.
+
+The topology also supplies the *domain knowledge* the symbolic-execution
+engine uses to constrain header fields (Section 3.2): the sets of MAC and IP
+addresses present in the network.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.openflow.packet import MacAddress
+
+
+class Endpoint:
+    """What is attached at the far side of a switch port."""
+
+    __slots__ = ("kind", "node", "port")
+
+    KIND_SWITCH = "switch"
+    KIND_HOST = "host"
+
+    def __init__(self, kind: str, node: str, port: int | None = None):
+        self.kind = kind
+        self.node = node
+        self.port = port
+
+    def __eq__(self, other):
+        if not isinstance(other, Endpoint):
+            return NotImplemented
+        return (self.kind, self.node, self.port) == (other.kind, other.node, other.port)
+
+    def __hash__(self):
+        return hash((self.kind, self.node, self.port))
+
+    def __repr__(self):
+        if self.kind == self.KIND_SWITCH:
+            return f"Endpoint(switch {self.node}:{self.port})"
+        return f"Endpoint(host {self.node})"
+
+
+class HostSpec:
+    """Declared attributes of one end host."""
+
+    __slots__ = ("name", "mac", "ip", "switch", "port")
+
+    def __init__(self, name: str, mac: MacAddress, ip: int, switch: str, port: int):
+        self.name = name
+        self.mac = mac
+        self.ip = ip
+        self.switch = switch
+        self.port = port
+
+    @property
+    def location(self) -> tuple[str, int]:
+        return (self.switch, self.port)
+
+    def __repr__(self):
+        return f"HostSpec({self.name}, mac={self.mac}, at {self.switch}:{self.port})"
+
+
+class Topology:
+    """Switches, hosts, and links.
+
+    >>> topo = Topology()
+    >>> topo.add_switch("s1", [1, 2])
+    >>> topo.add_host("A", "00:00:00:00:00:01", "10.0.0.1", "s1", 1)
+    >>> topo.add_host("B", "00:00:00:00:00:02", "10.0.0.2", "s1", 2)
+    >>> topo.validate()
+    """
+
+    def __init__(self):
+        self.switches: dict[str, list[int]] = {}
+        self.hosts: dict[str, HostSpec] = {}
+        self._links: dict[tuple[str, int], Endpoint] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_switch(self, name: str, ports: list[int]) -> None:
+        if name in self.switches:
+            raise TopologyError(f"duplicate switch {name!r}")
+        if len(set(ports)) != len(ports):
+            raise TopologyError(f"duplicate ports on switch {name!r}")
+        self.switches[name] = sorted(ports)
+
+    def add_host(self, name: str, mac, ip, switch: str, port: int) -> None:
+        if name in self.hosts:
+            raise TopologyError(f"duplicate host {name!r}")
+        self._check_port(switch, port)
+        self._check_port_free(switch, port)
+        if isinstance(mac, str):
+            mac = MacAddress.from_string(mac)
+        if isinstance(ip, str):
+            from repro.openflow.packet import ip_from_string
+
+            ip = ip_from_string(ip)
+        spec = HostSpec(name, mac, ip, switch, port)
+        self.hosts[name] = spec
+        self._links[(switch, port)] = Endpoint(Endpoint.KIND_HOST, name)
+
+    def add_link(self, sw1: str, port1: int, sw2: str, port2: int) -> None:
+        """Declare a bidirectional switch-to-switch link."""
+        self._check_port(sw1, port1)
+        self._check_port(sw2, port2)
+        self._check_port_free(sw1, port1)
+        self._check_port_free(sw2, port2)
+        if sw1 == sw2:
+            raise TopologyError(f"self-link on switch {sw1!r}")
+        self._links[(sw1, port1)] = Endpoint(Endpoint.KIND_SWITCH, sw2, port2)
+        self._links[(sw2, port2)] = Endpoint(Endpoint.KIND_SWITCH, sw1, port1)
+
+    def _check_port(self, switch: str, port: int) -> None:
+        if switch not in self.switches:
+            raise TopologyError(f"unknown switch {switch!r}")
+        if port not in self.switches[switch]:
+            raise TopologyError(f"switch {switch!r} has no port {port}")
+
+    def _check_port_free(self, switch: str, port: int) -> None:
+        if (switch, port) in self._links:
+            raise TopologyError(f"port {switch}:{port} already wired")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def endpoint(self, switch: str, port: int) -> Endpoint | None:
+        """Who is on the far side of ``switch:port`` (None for loose ports)."""
+        return self._links.get((switch, port))
+
+    def host_location(self, name: str) -> tuple[str, int]:
+        return self.hosts[name].location
+
+    def switch_links(self) -> list[tuple[str, int, str, int]]:
+        """Each switch-to-switch link once, as ``(sw1, p1, sw2, p2)``."""
+        seen = set()
+        out = []
+        for (sw, port), ep in sorted(self._links.items()):
+            if ep.kind != Endpoint.KIND_SWITCH:
+                continue
+            key = frozenset([(sw, port), (ep.node, ep.port)])
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append((sw, port, ep.node, ep.port))
+        return out
+
+    def switch_graph(self) -> dict[str, set[str]]:
+        """Adjacency over switches only."""
+        graph: dict[str, set[str]] = {name: set() for name in self.switches}
+        for sw1, _, sw2, _ in self.switch_links():
+            graph[sw1].add(sw2)
+            graph[sw2].add(sw1)
+        return graph
+
+    def mac_addresses(self) -> list[MacAddress]:
+        """Every declared host MAC (domain knowledge for symbolic packets)."""
+        return [spec.mac for spec in self.hosts.values()]
+
+    def ip_addresses(self) -> list[int]:
+        """Every declared host IP (domain knowledge for symbolic packets)."""
+        return [spec.ip for spec in self.hosts.values()]
+
+    def host_by_mac(self, mac: MacAddress) -> HostSpec | None:
+        for spec in self.hosts.values():
+            if spec.mac == mac:
+                return spec
+        return None
+
+    def validate(self) -> None:
+        """Check global consistency; raises :class:`TopologyError`."""
+        macs = [spec.mac for spec in self.hosts.values()]
+        if len(set(macs)) != len(macs):
+            raise TopologyError("duplicate host MAC addresses")
+        if not self.switches:
+            raise TopologyError("topology has no switches")
+
+    def __repr__(self):
+        return (f"Topology({len(self.switches)} switches, {len(self.hosts)} hosts,"
+                f" {len(self.switch_links())} links)")

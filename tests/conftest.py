@@ -1,0 +1,16 @@
+"""Shared test configuration: a deterministic hypothesis profile.
+
+Model-checking steps inside property-based tests have variable latency
+(cloning and hashing whole systems), so per-example deadlines are disabled;
+derandomization keeps CI runs reproducible.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "nice",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("nice")

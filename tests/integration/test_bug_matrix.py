@@ -1,0 +1,228 @@
+"""Integration: the Section 8 bug matrix.
+
+Every one of the paper's eleven bugs must be (a) found by NICE under the
+default PKT-SEQ search, (b) gone in the fixed variant, and (c) found or
+missed by each heuristic strategy exactly as Table 2 reports:
+
+* NO-DELAY misses the race/statistics bugs V, X, XI and finds the rest;
+* FLOW-IR misses only BUG-VII (the duplicate SYN is treated as a new,
+  independent flow);
+* UNUSUAL misses nothing.
+"""
+
+import pytest
+
+from repro import nice, scenarios
+from repro.apps.energy_te import expected_path
+from repro.apps.pyswitch_fixed import (
+    PySwitchFixed,
+    PySwitchNaiveFix,
+    PySwitchSpanningTree,
+)
+from repro.config import NiceConfig
+from repro.properties import (
+    FlowAffinity,
+    NoForgottenPackets,
+    UseCorrectRoutingTable,
+)
+
+
+def cfg(strategy="PKT-SEQ"):
+    return NiceConfig(strategy=strategy)
+
+
+def lb_scenario(bug, strategy="PKT-SEQ"):
+    flags = {f"bug_{n}": False for n in ("iv", "v", "vi", "vii")}
+    flags[f"bug_{bug}"] = True
+    properties = ([FlowAffinity(["R1", "R2"])] if bug == "vii"
+                  else [NoForgottenPackets()])
+    return scenarios.loadbalancer_scenario(
+        properties=properties, config=cfg(strategy), **flags)
+
+
+def te_scenario(bug, strategy="PKT-SEQ"):
+    flags = {f"bug_{n}": False for n in ("viii", "ix", "x", "xi")}
+    flags[f"bug_{bug}"] = True
+    properties = ([UseCorrectRoutingTable(expected_path)] if bug == "x"
+                  else [NoForgottenPackets()])
+    polls = 2 if bug == "xi" else 1
+    return scenarios.energy_te_scenario(
+        properties=properties, polls=polls, config=cfg(strategy), **flags)
+
+
+class TestPySwitchBugs:
+    def test_bug_i_host_unreachable_after_moving(self):
+        result = nice.run(scenarios.pyswitch_mobile())
+        assert result.found_violation
+        assert result.violations[0].property_name == "NoBlackHoles"
+
+    def test_bug_ii_delayed_direct_path(self):
+        result = nice.run(scenarios.pyswitch_direct_path())
+        assert result.found_violation
+        assert result.violations[0].property_name == "StrictDirectPaths"
+
+    def test_bug_ii_fixed_variant_passes(self):
+        result = nice.run(scenarios.pyswitch_direct_path(
+            app_factory=PySwitchFixed))
+        assert not result.found_violation
+
+    def test_bug_ii_naive_fix_still_races(self):
+        # Section 8.1: "fixing this bug can easily introduce another one" —
+        # installing the reverse rule after releasing the packet leaves the
+        # race in place.
+        result = nice.run(scenarios.pyswitch_direct_path(
+            app_factory=PySwitchNaiveFix))
+        assert result.found_violation
+
+    def test_bug_iii_excess_flooding(self):
+        result = nice.run(scenarios.pyswitch_loop())
+        assert result.found_violation
+        assert result.violations[0].property_name == "NoForwardingLoops"
+
+    def test_bug_iii_spanning_tree_fix_passes(self):
+        result = nice.run(scenarios.pyswitch_loop(
+            app_factory=PySwitchSpanningTree))
+        assert not result.found_violation
+
+    def test_violation_trace_replays(self):
+        scenario = scenarios.pyswitch_loop()
+        result = nice.run(scenario)
+        violation = result.violations[0]
+        system = nice.replay(scenario, violation.trace,
+                             expected_hash=violation.state_hash)
+        assert system.state_hash() == violation.state_hash
+
+
+class TestLoadBalancerBugs:
+    def test_bug_iv_next_packet_dropped(self):
+        result = nice.run(lb_scenario("iv"))
+        assert result.found_violation
+        assert result.violations[0].property_name == "NoForgottenPackets"
+
+    def test_bug_v_packets_dropped_in_update_window(self):
+        result = nice.run(lb_scenario("v"))
+        assert result.found_violation
+
+    def test_bug_vi_arp_request_forgotten(self):
+        result = nice.run(lb_scenario("vi"))
+        assert result.found_violation
+
+    def test_bug_vii_duplicate_syn_splits_connection(self):
+        result = nice.run(lb_scenario("vii"))
+        assert result.found_violation
+        assert result.violations[0].property_name == "FlowAffinity"
+
+    def test_all_fixed_passes_no_forgotten_packets(self):
+        result = nice.run(scenarios.loadbalancer_scenario(
+            bug_iv=False, bug_v=False, bug_vi=False, bug_vii=False,
+            properties=[NoForgottenPackets()]))
+        assert not result.found_violation
+
+
+class TestEnergyTEBugs:
+    def test_bug_viii_first_packet_dropped(self):
+        result = nice.run(te_scenario("viii"))
+        assert result.found_violation
+
+    def test_bug_ix_intermediate_switch_race(self):
+        result = nice.run(te_scenario("ix"))
+        assert result.found_violation
+
+    def test_bug_x_only_on_demand_routes(self):
+        result = nice.run(te_scenario("x"))
+        assert result.found_violation
+        assert result.violations[0].property_name == "UseCorrectRoutingTable"
+
+    def test_bug_xi_packets_dropped_when_load_reduces(self):
+        result = nice.run(te_scenario("xi"))
+        assert result.found_violation
+
+    def test_all_fixed_passes(self):
+        result = nice.run(scenarios.energy_te_scenario(
+            bug_viii=False, bug_ix=False, bug_x=False, bug_xi=False,
+            properties=[NoForgottenPackets(),
+                        UseCorrectRoutingTable(expected_path)],
+            polls=1))
+        assert not result.found_violation
+
+
+class TestStrategyMissMatrix:
+    """The Missed cells of Table 2."""
+
+    def test_no_delay_misses_bug_v(self):
+        assert not nice.run(lb_scenario("v", "NO-DELAY")).found_violation
+
+    def test_no_delay_misses_bug_x(self):
+        assert not nice.run(te_scenario("x", "NO-DELAY")).found_violation
+
+    def test_no_delay_misses_bug_xi(self):
+        assert not nice.run(te_scenario("xi", "NO-DELAY")).found_violation
+
+    def test_no_delay_still_finds_bug_iv(self):
+        assert nice.run(lb_scenario("iv", "NO-DELAY")).found_violation
+
+    def test_no_delay_still_finds_bug_ix(self):
+        # The cross-switch installation race survives NO-DELAY because only
+        # per-channel communication is atomic (Table 2 reports NO-DELAY
+        # finding BUG-IX).
+        assert nice.run(te_scenario("ix", "NO-DELAY")).found_violation
+
+    def test_flow_ir_misses_bug_vii(self):
+        assert not nice.run(lb_scenario("vii", "FLOW-IR")).found_violation
+
+    def test_flow_ir_still_finds_bug_iv(self):
+        assert nice.run(lb_scenario("iv", "FLOW-IR")).found_violation
+
+    @pytest.mark.parametrize("bug,builder", [
+        ("v", lb_scenario), ("vii", lb_scenario),
+        ("ix", te_scenario), ("x", te_scenario), ("xi", te_scenario),
+    ])
+    def test_unusual_misses_nothing(self, bug, builder):
+        assert nice.run(builder(bug, "UNUSUAL")).found_violation
+
+
+class TestBugVIIDesignFlaw:
+    """BUG-VII is a design flaw without a complete fix (Section 8.2: the
+    authors of the load balancer 'only realized this was a problem after
+    careful consideration').  The controller-visible half — a duplicate SYN
+    re-assigning a flow the controller already tracks — is fixable and the
+    fixed variant must keep the original assignment."""
+
+    def test_fixed_keeps_known_flow_assignment(self):
+        from repro.apps.loadbalancer_fixed import LoadBalancerFixed
+        from repro.controller.api import RecordingControllerAPI
+        from repro.openflow.packet import TCP_SYN, tcp_packet
+        from repro.scenarios import (
+            IP_A, MAC_A, VIP, VIP_MAC, _lb_replicas)
+
+        app = LoadBalancerFixed(
+            switch="s1", client_port=1, client_ip=IP_A, vip=VIP,
+            vip_mac=VIP_MAC, replicas=_lb_replicas())
+        api = RecordingControllerAPI()
+        app.handle_event(api, "reconfigure")
+        data = tcp_packet(MAC_A, VIP_MAC, IP_A, VIP, 1000, 80)
+        app.packet_in(api, "s1", 1, data, 1, "action")
+        assert app.flow_assignments[(IP_A, 1000)] == 0  # old policy
+        dup_syn = tcp_packet(MAC_A, VIP_MAC, IP_A, VIP, 1000, 80,
+                             flags=TCP_SYN)
+        app.packet_in(api, "s1", 1, dup_syn, 2, "action")
+        assert app.flow_assignments[(IP_A, 1000)] == 0  # unchanged
+
+    def test_buggy_reassigns_known_flow(self):
+        from repro.apps.loadbalancer import LoadBalancer
+        from repro.controller.api import RecordingControllerAPI
+        from repro.openflow.packet import TCP_SYN, tcp_packet
+        from repro.scenarios import (
+            IP_A, MAC_A, VIP, VIP_MAC, _lb_replicas)
+
+        app = LoadBalancer(
+            switch="s1", client_port=1, client_ip=IP_A, vip=VIP,
+            vip_mac=VIP_MAC, replicas=_lb_replicas())
+        api = RecordingControllerAPI()
+        app.handle_event(api, "reconfigure")
+        data = tcp_packet(MAC_A, VIP_MAC, IP_A, VIP, 1000, 80)
+        app.packet_in(api, "s1", 1, data, 1, "action")
+        dup_syn = tcp_packet(MAC_A, VIP_MAC, IP_A, VIP, 1000, 80,
+                             flags=TCP_SYN)
+        app.packet_in(api, "s1", 1, dup_syn, 2, "action")
+        assert app.flow_assignments[(IP_A, 1000)] == 1  # re-assigned

@@ -1,0 +1,263 @@
+"""Unit tests for the three applications (handler-level, no model checker)."""
+
+import pytest
+
+from repro.apps.energy_te import (
+    EnergyTrafficEngineering,
+    TABLE_ALWAYS_ON,
+    TABLE_ON_DEMAND,
+    expected_path,
+)
+from repro.apps.loadbalancer import LoadBalancer, ReplicaSpec, VipServer
+from repro.apps.pyswitch import PySwitch
+from repro.controller.api import RecordingControllerAPI
+from repro.openflow.packet import (
+    MacAddress,
+    TCP_SYN,
+    arp_request,
+    ip_from_string,
+    l2_ping,
+    tcp_packet,
+)
+
+MAC_A = MacAddress.from_string("00:00:00:00:00:01")
+MAC_B = MacAddress.from_string("00:00:00:00:00:02")
+VIP = ip_from_string("10.0.0.100")
+VIP_MAC = MacAddress.from_string("00:00:00:00:01:00")
+IP_A = ip_from_string("10.0.0.1")
+
+
+class TestPySwitchHandlers:
+    def make(self):
+        app = PySwitch()
+        api = RecordingControllerAPI()
+        app.switch_join(api, "s1", {})
+        return app, api
+
+    def test_learning(self):
+        app, api = self.make()
+        app.packet_in(api, "s1", 3, l2_ping(MAC_A, MAC_B), 1, "no_match")
+        assert app.ctrl_state["s1"][MAC_A] == 3
+        assert api.calls[-1] == ("flood_packet", "s1")
+
+    def test_known_destination_installs_rule(self):
+        app, api = self.make()
+        app.ctrl_state["s1"][MAC_B] = 2
+        app.packet_in(api, "s1", 1, l2_ping(MAC_A, MAC_B), 1, "no_match")
+        assert ("install_rule", "s1") in api.calls
+        assert ("send_packet_out", "s1") in api.calls
+
+    def test_broadcast_source_not_learned(self):
+        app, api = self.make()
+        pkt = l2_ping(MacAddress.broadcast(), MAC_B)
+        app.packet_in(api, "s1", 1, pkt, 1, "no_match")
+        assert MacAddress.broadcast() not in app.ctrl_state["s1"]
+
+    def test_hairpin_floods(self):
+        # Destination known on the same port: Figure 3 line 10 guards
+        # outport != inport, so the packet floods instead.
+        app, api = self.make()
+        app.ctrl_state["s1"][MAC_B] = 1
+        app.packet_in(api, "s1", 1, l2_ping(MAC_A, MAC_B), 1, "no_match")
+        assert api.calls[-1] == ("flood_packet", "s1")
+
+    def test_switch_leave_clears_table(self):
+        app, api = self.make()
+        app.switch_leave(api, "s1")
+        assert "s1" not in app.ctrl_state
+
+
+def make_lb(**flags):
+    replicas = [
+        ReplicaSpec("R1", MacAddress.from_int(0x11), 11, 2),
+        ReplicaSpec("R2", MacAddress.from_int(0x12), 12, 3),
+    ]
+    return LoadBalancer(switch="s1", client_port=1, client_ip=IP_A,
+                        vip=VIP, vip_mac=VIP_MAC, replicas=replicas, **flags)
+
+
+class TestLoadBalancerHandlers:
+    def test_boot_installs_policy_and_return_rules(self):
+        app, api = make_lb(), RecordingControllerAPI()
+        app.boot(api, None)
+        assert api.calls.count(("install_rule", "s1")) == 2
+
+    def test_reconfigure_buggy_order(self):
+        app, api = make_lb(bug_v=True), RecordingControllerAPI()
+        app.handle_event(api, "reconfigure")
+        assert [c[0] for c in api.calls] == ["delete_rules", "install_rule"]
+        assert app.mode == "transition"
+
+    def test_reconfigure_fixed_order(self):
+        app, api = make_lb(bug_v=False), RecordingControllerAPI()
+        app.handle_event(api, "reconfigure")
+        assert [c[0] for c in api.calls] == ["install_rule", "delete_rules"]
+
+    def test_bug_iv_forgets_packet_out(self):
+        app, api = make_lb(bug_iv=True), RecordingControllerAPI()
+        app.handle_event(api, "reconfigure")
+        api.calls.clear()
+        syn = tcp_packet(MAC_A, VIP_MAC, IP_A, VIP, 1000, 80, flags=TCP_SYN)
+        app.packet_in(api, "s1", 1, syn, 7, "action")
+        assert ("install_rule", "s1") in api.calls
+        assert ("send_packet_out", "s1") not in api.calls
+
+    def test_fixed_iv_releases_packet(self):
+        app, api = make_lb(bug_iv=False), RecordingControllerAPI()
+        app.handle_event(api, "reconfigure")
+        api.calls.clear()
+        syn = tcp_packet(MAC_A, VIP_MAC, IP_A, VIP, 1000, 80, flags=TCP_SYN)
+        app.packet_in(api, "s1", 1, syn, 7, "action")
+        assert ("send_packet_out", "s1") in api.calls
+
+    def test_bug_v_ignores_no_match_during_transition(self):
+        app, api = make_lb(bug_v=True), RecordingControllerAPI()
+        app.handle_event(api, "reconfigure")
+        api.calls.clear()
+        data = tcp_packet(MAC_A, VIP_MAC, IP_A, VIP, 1000, 80)
+        app.packet_in(api, "s1", 1, data, 9, "no_match")
+        assert api.calls == []   # the buffered packet is forgotten
+
+    def test_bug_vi_forgets_arp_buffer(self):
+        app, api = make_lb(bug_vi=True), RecordingControllerAPI()
+        req = arp_request(MAC_A, IP_A, VIP)
+        app.packet_in(api, "s1", 1, req, 5, "no_match")
+        kinds = [c[0] for c in api.calls]
+        assert "send_packet_out" in kinds      # the ARP reply
+        assert "drop_buffer" not in kinds      # ...but the buffer leaks
+
+    def test_fixed_vi_discards_buffer(self):
+        app, api = make_lb(bug_vi=False), RecordingControllerAPI()
+        req = arp_request(MAC_A, IP_A, VIP)
+        app.packet_in(api, "s1", 1, req, 5, "no_match")
+        assert ("drop_buffer", "s1") in api.calls
+
+    def test_unclaimed_traffic_is_consumed(self):
+        app, api = make_lb(), RecordingControllerAPI()
+        other = tcp_packet(MAC_A, MAC_B, IP_A, 9999, 1000, 80)
+        app.packet_in(api, "s1", 1, other, 2, "no_match")
+        assert api.calls == [("drop_buffer", "s1")]
+
+    def test_is_same_flow_semantics(self):
+        syn = tcp_packet(MAC_A, VIP_MAC, IP_A, VIP, 1000, 80, flags=TCP_SYN)
+        data = tcp_packet(MAC_A, VIP_MAC, IP_A, VIP, 1000, 80)
+        dup = tcp_packet(MAC_A, VIP_MAC, IP_A, VIP, 1000, 80, flags=TCP_SYN)
+        assert LoadBalancer.is_same_flow(data, syn)     # data continues
+        assert not LoadBalancer.is_same_flow(dup, syn)  # SYN probe = new
+        assert LoadBalancer.is_same_flow(syn, syn)      # identity
+
+    def test_vip_server_replies_as_vip(self):
+        server = VipServer("R1", MacAddress.from_int(0x11), 11, VIP, VIP_MAC)
+        syn = tcp_packet(MAC_A, VIP_MAC, IP_A, VIP, 1000, 80, flags=TCP_SYN)
+        server.deliver(syn)
+        server.receive()
+        reply = server.pending[0]
+        assert reply.ip_src == VIP
+        assert reply.eth_src == VIP_MAC
+
+
+def make_te(**flags):
+    always = {7: [("s1", 2), ("s2", 3)]}
+    demand = {7: [("s1", 3), ("s3", 2), ("s2", 3)]}
+    return EnergyTrafficEngineering(
+        ingress="s1", monitor_port=2, always_on=always, on_demand=demand,
+        **flags)
+
+
+class TestEnergyTEHandlers:
+    def stats(self, tx_bytes):
+        return {2: {"rx_packets": 0, "tx_packets": 0, "rx_bytes": 0,
+                    "tx_bytes": tx_bytes}}
+
+    def test_state_flips_on_threshold(self):
+        app, api = make_te(), RecordingControllerAPI()
+        app.port_stats_in(api, "s1", self.stats(0))
+        assert app.energy_state == "low"
+        app.port_stats_in(api, "s1", self.stats(10000))
+        assert app.energy_state == "high"
+
+    def test_bug_x_caches_table(self):
+        app, api = make_te(bug_x=True), RecordingControllerAPI()
+        app.port_stats_in(api, "s1", self.stats(10000))
+        assert app.active_table == TABLE_ON_DEMAND
+        assert app._choose_table() == TABLE_ON_DEMAND
+        assert app._choose_table() == TABLE_ON_DEMAND  # never alternates
+
+    def test_fixed_x_alternates_under_high_load(self):
+        app, api = make_te(bug_x=False), RecordingControllerAPI()
+        app.port_stats_in(api, "s1", self.stats(10000))
+        picks = []
+        for _ in range(4):
+            picks.append(app._choose_table())
+            app.flows_routed += 1
+        assert picks == [TABLE_ALWAYS_ON, TABLE_ON_DEMAND,
+                         TABLE_ALWAYS_ON, TABLE_ON_DEMAND]
+
+    def test_ingress_installs_whole_path(self):
+        app, api = make_te(bug_viii=False), RecordingControllerAPI()
+        pkt = tcp_packet(MAC_A, MAC_B, IP_A, 7, 1000, 80)
+        app.packet_in(api, "s1", 1, pkt, 1, "no_match")
+        installs = [c for c in api.calls if c[0] == "install_rule"]
+        assert [c[1] for c in installs] == ["s1", "s2"]  # always-on path
+        assert ("send_packet_out", "s1") in api.calls
+
+    def test_bug_ix_ignores_intermediate_packet_in(self):
+        app, api = make_te(bug_ix=True), RecordingControllerAPI()
+        pkt = tcp_packet(MAC_A, MAC_B, IP_A, 7, 1000, 80)
+        app.packet_in(api, "s3", 1, pkt, 1, "no_match")
+        assert api.calls == []
+
+    def test_fixed_ix_forwards_along_known_path(self):
+        app, api = make_te(bug_ix=False, bug_x=False), RecordingControllerAPI()
+        app.energy_state = "high"
+        app.flows_routed = 1   # parity -> on-demand, whose path has s3
+        pkt = tcp_packet(MAC_A, MAC_B, IP_A, 7, 1000, 80)
+        app.packet_in(api, "s1", 1, pkt, 1, "no_match")
+        api.calls.clear()
+        app.packet_in(api, "s3", 1, pkt, 2, "no_match")
+        assert ("send_packet_out", "s3") in api.calls
+
+    def test_bug_xi_drops_abandoned_path_packets(self):
+        app, api = make_te(bug_ix=False, bug_x=False,
+                           bug_xi=True), RecordingControllerAPI()
+        app.energy_state = "low"    # load reduced; s3 not on always-on
+        pkt = tcp_packet(MAC_A, MAC_B, IP_A, 7, 1000, 80)
+        app.packet_in(api, "s3", 1, pkt, 2, "no_match")
+        assert api.calls == []
+
+    def test_fixed_xi_falls_back_to_flow_table(self):
+        app, api = make_te(bug_ix=False, bug_x=False,
+                           bug_xi=False), RecordingControllerAPI()
+        app.energy_state = "high"
+        app.flows_routed = 1
+        pkt = tcp_packet(MAC_A, MAC_B, IP_A, 7, 1000, 80)
+        app.packet_in(api, "s1", 1, pkt, 1, "no_match")  # routed on-demand
+        app.energy_state = "low"                          # load reduces
+        api.calls.clear()
+        app.packet_in(api, "s3", 1, pkt, 2, "no_match")
+        assert ("send_packet_out", "s3") in api.calls
+
+    def test_expected_path_specification(self):
+        app = make_te(bug_x=False)
+        pkt = tcp_packet(MAC_A, MAC_B, IP_A, 7, 1000, 80)
+        app.energy_state = "low"
+        app.flows_routed = 1
+        assert expected_path(app, pkt) == [{"s1", "s2"}]
+        app.energy_state = "high"
+        assert expected_path(app, pkt) == [{"s1", "s2"}]      # flow 0: even
+        app.flows_routed = 2
+        assert expected_path(app, pkt) == [{"s1", "s3", "s2"}]
+
+    def test_non_ip_traffic_consumed(self):
+        app, api = make_te(), RecordingControllerAPI()
+        app.packet_in(api, "s1", 1, l2_ping(MAC_A, MAC_B), 1, "no_match")
+        # l2_ping has eth_type IP but unknown dst -> also consumed
+        assert api.calls == [("drop_buffer", "s1")]
+
+    def test_poll_budget(self):
+        app, api = make_te(polls=1), RecordingControllerAPI()
+        app.handle_event(api, "poll_stats")
+        assert api.calls == [("query_port_stats", "s1")]
+        app.port_stats_in(api, "s1", self.stats(0))
+        # polls exhausted: the handler does not re-arm the query
+        assert api.calls == [("query_port_stats", "s1")]

@@ -1,0 +1,128 @@
+"""Unit tests for FIFO channels and the optional fault model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ChannelError
+from repro.openflow.channels import Channel
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        ch = Channel("c")
+        ch.enqueue(1)
+        ch.enqueue(2)
+        ch.enqueue(3)
+        assert ch.dequeue() == 1
+        assert ch.peek() == 2
+        assert ch.dequeue() == 2
+        assert ch.dequeue() == 3
+
+    def test_empty_operations_raise(self):
+        ch = Channel("c")
+        with pytest.raises(ChannelError):
+            ch.dequeue()
+        with pytest.raises(ChannelError):
+            ch.peek()
+
+    def test_truthiness_and_len(self):
+        ch = Channel("c")
+        assert not ch
+        ch.enqueue("x")
+        assert ch
+        assert len(ch) == 1
+
+    def test_extend_and_items_snapshot(self):
+        ch = Channel("c")
+        ch.extend([1, 2])
+        snapshot = ch.items()
+        snapshot.append(3)
+        assert len(ch) == 2
+
+    def test_clear_drains(self):
+        ch = Channel("c")
+        ch.extend([1, 2])
+        assert ch.clear() == [1, 2]
+        assert not ch
+
+    @given(st.lists(st.integers(), max_size=20))
+    def test_fifo_property(self, items):
+        ch = Channel("c")
+        ch.extend(items)
+        assert [ch.dequeue() for _ in range(len(ch))] == items
+
+
+class TestFaultModel:
+    def test_reliable_channel_has_no_faults(self):
+        ch = Channel("ofp", reliable=True)
+        ch.enqueue(1)
+        assert ch.fault_operations() == []
+        with pytest.raises(ChannelError):
+            ch.apply_fault(("drop", 0))
+
+    def test_drop(self):
+        ch = Channel("pkt", reliable=False)
+        ch.extend([1, 2, 3])
+        ch.apply_fault(("drop", 1))
+        assert ch.items() == [1, 3]
+
+    def test_duplicate(self):
+        ch = Channel("pkt", reliable=False)
+        ch.extend([1, 2])
+        ch.apply_fault(("duplicate", 0))
+        assert ch.items() == [1, 1, 2]
+
+    def test_reorder_swaps_neighbors(self):
+        ch = Channel("pkt", reliable=False)
+        ch.extend([1, 2, 3])
+        ch.apply_fault(("reorder", 0))
+        assert ch.items() == [2, 1, 3]
+
+    def test_fail_silences_channel(self):
+        ch = Channel("pkt", reliable=False)
+        ch.apply_fault(("fail",))
+        ch.enqueue(1)
+        assert len(ch) == 0
+        assert ch.fault_operations() == []  # no further faults on dead link
+
+    def test_fault_enumeration_shape(self):
+        ch = Channel("pkt", reliable=False)
+        ch.extend([1, 2])
+        ops = ch.fault_operations()
+        assert ("fail",) in ops
+        assert ("drop", 0) in ops and ("drop", 1) in ops
+        assert ("duplicate", 0) in ops
+        assert ("reorder", 0) in ops
+        assert ("reorder", 1) not in ops
+
+    def test_bad_fault_index(self):
+        ch = Channel("pkt", reliable=False)
+        ch.enqueue(1)
+        with pytest.raises(ChannelError):
+            ch.apply_fault(("drop", 5))
+        with pytest.raises(ChannelError):
+            ch.apply_fault(("reorder", 0))
+
+    def test_unknown_fault(self):
+        ch = Channel("pkt", reliable=False)
+        ch.enqueue(1)
+        with pytest.raises(ChannelError):
+            ch.apply_fault(("mangle", 0))
+
+
+class TestCanonical:
+    def test_canonical_includes_failure_flag(self):
+        a = Channel("c", reliable=False)
+        b = Channel("c", reliable=False)
+        assert a.canonical() == b.canonical()
+        a.apply_fault(("fail",))
+        assert a.canonical() != b.canonical()
+
+    def test_canonical_uses_item_canonical(self):
+        class Item:
+            def canonical(self):
+                return ("item", 1)
+
+        ch = Channel("c")
+        ch.enqueue(Item())
+        assert ch.canonical() == ("c", False, (("item", 1),))

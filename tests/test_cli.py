@@ -1,0 +1,70 @@
+"""Tests for the command-line front end."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "pyswitch-loop"])
+        assert args.strategy == "PKT-SEQ"
+        assert not args.no_canonical
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonexistent"])
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "pyswitch-loop", "--strategy", "MAGIC"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pyswitch-loop" in out
+        assert "loadbalancer" in out
+
+    def test_run_finds_violation_exit_code(self, capsys):
+        code = main(["run", "pyswitch-loop"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NoForwardingLoops" in out
+
+    def test_run_json_output(self, capsys):
+        code = main(["run", "pyswitch-loop", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["violations"][0]["property"] == "NoForwardingLoops"
+        assert payload["transitions"] > 0
+
+    def test_run_with_trace(self, capsys):
+        main(["run", "pyswitch-loop", "--trace"])
+        out = capsys.readouterr().out
+        assert "host_send" in out
+
+    def test_run_clean_scenario_exit_zero(self, capsys):
+        code = main(["run", "ping", "--pings", "1"])
+        assert code == 0
+
+    def test_run_max_transitions_bound(self, capsys):
+        code = main(["run", "ping", "--pings", "2",
+                     "--max-transitions", "10"])
+        out = capsys.readouterr().out
+        assert "max_transitions" in out
+        assert code == 0
+
+    def test_walk(self, capsys):
+        code = main(["walk", "pyswitch-loop", "--steps", "40", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "transitions executed" in out
+        assert code in (0, 1)

@@ -1,0 +1,193 @@
+"""Unit tests for the NOX-like controller platform."""
+
+import pytest
+
+from repro.controller.api import (
+    LiveControllerAPI,
+    RecordingControllerAPI,
+    normalize_actions,
+    normalize_match,
+    OUTPUT,
+)
+from repro.controller.app import App
+from repro.controller.runtime import ControllerRuntime
+from repro.errors import ControllerError
+from repro.openflow.actions import ActionDrop, ActionFlood, ActionOutput
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    FlowMod,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+    StatsReply,
+    StatsRequest,
+)
+from repro.openflow.packet import MacAddress, Packet
+from repro.openflow.switch import SwitchModel
+
+
+class FakeSystem:
+    """Just enough of a System for the live API: a switch registry."""
+
+    def __init__(self):
+        self.switches = {"s1": SwitchModel("s1", [1, 2])}
+
+
+def pkt():
+    return Packet(eth_src=MacAddress.from_int(1), eth_dst=MacAddress.from_int(2))
+
+
+class TestNormalization:
+    def test_match_passthrough(self):
+        match = Match(tp_dst=80)
+        assert normalize_match(match) is match
+
+    def test_match_from_dict(self):
+        match = normalize_match({"tp_dst": 80})
+        assert match.tp_dst == 80
+
+    def test_bad_match(self):
+        with pytest.raises(ControllerError):
+            normalize_match(42)
+
+    def test_paper_style_action_pair(self):
+        assert normalize_actions([OUTPUT, 3]) == [ActionOutput(3)]
+
+    def test_action_objects_passthrough(self):
+        actions = [ActionFlood(), ActionDrop()]
+        assert normalize_actions(actions) == actions
+
+    def test_action_names(self):
+        assert normalize_actions(["flood"]) == [ActionFlood()]
+        assert normalize_actions(["drop"]) == [ActionDrop()]
+
+    def test_bad_action(self):
+        with pytest.raises(ControllerError):
+            normalize_actions(["teleport"])
+
+
+class TestLiveAPI:
+    def test_install_rule_enqueues_flow_mod(self):
+        system = FakeSystem()
+        api = LiveControllerAPI(system)
+        api.install_rule("s1", {"tp_dst": 80}, [OUTPUT, 2], soft_timer=5)
+        message = system.switches["s1"].ofp_in.peek()
+        assert isinstance(message, FlowMod)
+        assert message.idle_timeout == 5
+        assert message.actions == [ActionOutput(2)]
+
+    def test_packet_out_defaults_to_table(self):
+        from repro.openflow.actions import ActionTable
+
+        system = FakeSystem()
+        api = LiveControllerAPI(system)
+        api.send_packet_out("s1", pkt=None, bufid=7)
+        message = system.switches["s1"].ofp_in.peek()
+        assert isinstance(message, PacketOut)
+        assert message.actions == [ActionTable()]
+
+    def test_flood_packet(self):
+        system = FakeSystem()
+        api = LiveControllerAPI(system)
+        api.flood_packet("s1", None, 3)
+        assert system.switches["s1"].ofp_in.peek().actions == [ActionFlood()]
+
+    def test_drop_buffer_sends_empty_action_list(self):
+        system = FakeSystem()
+        api = LiveControllerAPI(system)
+        api.drop_buffer("s1", 3)
+        assert system.switches["s1"].ofp_in.peek().actions == []
+
+    def test_stats_and_barrier(self):
+        system = FakeSystem()
+        api = LiveControllerAPI(system)
+        api.query_port_stats("s1", xid=9)
+        api.send_barrier("s1", xid=4)
+        items = system.switches["s1"].ofp_in.items()
+        assert isinstance(items[0], StatsRequest) and items[0].xid == 9
+        assert items[1].xid == 4
+
+    def test_unknown_switch(self):
+        api = LiveControllerAPI(FakeSystem())
+        with pytest.raises(ControllerError):
+            api.install_rule("nope", {}, [OUTPUT, 1])
+
+
+class TestRecordingAPI:
+    def test_records_without_side_effects(self):
+        api = RecordingControllerAPI()
+        api.install_rule("s1", {}, [OUTPUT, 1])
+        api.flood_packet("s1", None, 2)
+        api.drop_buffer("s1", 2)
+        assert [c[0] for c in api.calls] == [
+            "install_rule", "flood_packet", "drop_buffer"]
+
+
+class RecorderApp(App):
+    """Collects handler invocations for dispatch tests."""
+
+    def __init__(self):
+        self.events = []
+
+    def boot(self, api, topo):
+        self.events.append(("boot",))
+
+    def switch_join(self, api, sw_id, stats):
+        self.events.append(("join", sw_id))
+
+    def packet_in(self, api, sw_id, inport, pkt, bufid, reason):
+        self.events.append(("packet_in", sw_id, inport, bufid, reason))
+
+    def port_stats_in(self, api, sw_id, stats, xid=0):
+        self.events.append(("stats", sw_id, xid))
+
+    def port_status(self, api, sw_id, port, is_up):
+        self.events.append(("port_status", sw_id, port, is_up))
+
+    def barrier_reply(self, api, sw_id, xid=0):
+        self.events.append(("barrier", sw_id, xid))
+
+
+class TestRuntimeDispatch:
+    def test_boot_delivers_joins_sorted(self):
+        app = RecorderApp()
+        runtime = ControllerRuntime(app)
+        runtime.boot(RecordingControllerAPI(), None, ["s2", "s1"])
+        assert app.events == [("boot",), ("join", "s1"), ("join", "s2")]
+
+    def test_dispatch_packet_in(self):
+        app = RecorderApp()
+        runtime = ControllerRuntime(app)
+        switch = SwitchModel("s1", [1])
+        switch.ofp_out.enqueue(PacketIn("s1", 1, pkt(), 5, "no_match"))
+        assert runtime.peek_kind(switch) == "packet_in"
+        runtime.handle_message(RecordingControllerAPI(), switch)
+        assert app.events[-1] == ("packet_in", "s1", 1, 5, "no_match")
+        assert len(switch.ofp_out) == 0
+
+    def test_dispatch_stats_and_others(self):
+        app = RecorderApp()
+        runtime = ControllerRuntime(app)
+        switch = SwitchModel("s1", [1])
+        switch.ofp_out.enqueue(StatsReply("s1", "port", {1: {}}, xid=2))
+        switch.ofp_out.enqueue(PortStatus("s1", 1, False))
+        switch.ofp_out.enqueue(BarrierReply("s1", xid=7))
+        api = RecordingControllerAPI()
+        assert runtime.peek_kind(switch) == "stats"
+        runtime.handle_message(api, switch)
+        runtime.handle_message(api, switch)
+        runtime.handle_message(api, switch)
+        assert app.events == [("stats", "s1", 2),
+                              ("port_status", "s1", 1, False),
+                              ("barrier", "s1", 7)]
+
+    def test_handle_on_empty_raises(self):
+        runtime = ControllerRuntime(RecorderApp())
+        with pytest.raises(ControllerError):
+            runtime.handle_message(RecordingControllerAPI(),
+                                   SwitchModel("s1", [1]))
+
+    def test_peek_kind_empty(self):
+        runtime = ControllerRuntime(RecorderApp())
+        assert runtime.peek_kind(SwitchModel("s1", [1])) is None

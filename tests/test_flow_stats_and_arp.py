@@ -1,0 +1,125 @@
+"""Tests for flow-statistics replies and the ARP-resolving client."""
+
+from repro.hosts.arp import ArpClient
+from repro.openflow.actions import ActionOutput
+from repro.openflow.match import Match
+from repro.openflow.messages import OFPST_FLOW, StatsReply, StatsRequest
+from repro.openflow.packet import (
+    MacAddress,
+    TCP_SYN,
+    arp_reply,
+    ip_from_string,
+    tcp_packet,
+)
+from repro.openflow.rules import Rule
+from repro.openflow.switch import SwitchModel
+
+MAC_A = MacAddress.from_string("00:00:00:00:00:01")
+VIP_MAC = MacAddress.from_string("00:00:00:00:01:00")
+IP_A = ip_from_string("10.0.0.1")
+VIP = ip_from_string("10.0.0.100")
+
+
+class TestFlowStats:
+    def test_flow_stats_reply_carries_rule_counters(self):
+        switch = SwitchModel("s1", [1, 2])
+        rule = Rule(Match(tp_dst=80), [ActionOutput(2)])
+        switch.table.install(rule)
+        rule.record_hit(64)
+        rule.record_hit(64)
+        switch.ofp_in.enqueue(StatsRequest(OFPST_FLOW, xid=4))
+        switch.process_of()
+        reply = switch.ofp_out.dequeue()
+        assert isinstance(reply, StatsReply)
+        assert reply.kind == OFPST_FLOW
+        assert reply.xid == 4
+        entry = reply.stats[0]
+        assert entry["packet_count"] == 2
+        assert entry["byte_count"] == 128
+        assert entry["priority"] == rule.priority
+
+    def test_port_stats_still_default(self):
+        switch = SwitchModel("s1", [1])
+        switch.ofp_in.enqueue(StatsRequest())
+        switch.process_of()
+        reply = switch.ofp_out.dequeue()
+        assert reply.kind == "port"
+        assert 1 in reply.stats
+
+
+class TestArpClient:
+    def make(self):
+        data = [tcp_packet(MAC_A, MacAddress.broadcast(), IP_A, VIP,
+                           1000, 80, flags=TCP_SYN)]
+        client = ArpClient("C", MAC_A, IP_A, target_ip=VIP, script=data)
+        client.counter_c = 5
+        return client
+
+    def test_starts_with_arp_request_only(self):
+        client = self.make()
+        assert client.send_candidates(10) == [("script", 0)]
+        request = client.take_send(("script", 0))
+        assert request.eth_type == 0x0806
+        assert request.ip_dst == VIP
+        # Data held back until resolution.
+        assert client.send_candidates(10) == []
+
+    def test_reply_releases_rewritten_data(self):
+        client = self.make()
+        client.take_send(("script", 0))
+        client.deliver(arp_reply(VIP_MAC, MAC_A, VIP, IP_A))
+        client.receive()
+        assert client.resolved_mac == VIP_MAC
+        assert client.send_candidates(10) == [("script", 1)]
+        data = client.take_send(("script", 1))
+        assert data.eth_dst == VIP_MAC       # destination rewritten
+        assert data.tcp_flags == TCP_SYN
+
+    def test_duplicate_replies_do_not_duplicate_script(self):
+        client = self.make()
+        client.take_send(("script", 0))
+        for _ in range(2):
+            client.deliver(arp_reply(VIP_MAC, MAC_A, VIP, IP_A))
+            client.receive()
+        assert len(client.script) == 2   # arp + one data packet
+
+    def test_foreign_arp_ignored(self):
+        client = self.make()
+        other = arp_reply(VIP_MAC, MAC_A, ip_from_string("9.9.9.9"), IP_A)
+        client.deliver(other)
+        client.receive()
+        assert client.resolved_mac is None
+
+    def test_canonical_tracks_resolution(self):
+        a, b = self.make(), self.make()
+        assert a.canonical() == b.canonical()
+        a.deliver(arp_reply(VIP_MAC, MAC_A, VIP, IP_A))
+        a.receive()
+        assert a.canonical() != b.canonical()
+
+    def test_end_to_end_with_loadbalancer(self):
+        """ARP resolution against the LB's proxy ARP, through the model."""
+        from repro import nice, scenarios
+        from repro.config import NiceConfig
+        from repro.properties import NoForgottenPackets
+
+        base = scenarios.loadbalancer_scenario(
+            bug_iv=False, bug_v=False, bug_vi=False, bug_vii=False,
+            symbolic=False)
+
+        def hosts_factory():
+            hosts = base.hosts_factory()
+            data = [tcp_packet(MAC_A, MacAddress.broadcast(), IP_A, VIP,
+                               1000, 80, flags=TCP_SYN)]
+            hosts[0] = ArpClient("C", MAC_A, IP_A, target_ip=VIP,
+                                 script=data)
+            return hosts
+
+        scenario = nice.Scenario(
+            base.topo, base.app_factory, hosts_factory,
+            [NoForgottenPackets()], base.config, name="lb-arp")
+        result = nice.run(scenario)
+        assert not result.found_violation
+        # At least one quiescent execution exists where the client resolved
+        # the VIP and its SYN reached a replica.
+        assert result.quiescent_states > 0

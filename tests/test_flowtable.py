@@ -1,0 +1,160 @@
+"""Unit tests for the flow table, including the canonical representation
+that powers the Table 1 state-space reduction."""
+
+from hypothesis import given, strategies as st
+
+from repro.openflow.actions import ActionDrop, ActionOutput
+from repro.openflow.flowtable import FlowTable
+from repro.openflow.match import Match
+from repro.openflow.packet import MacAddress, Packet
+from repro.openflow.rules import Rule
+
+
+def mac(n: int) -> MacAddress:
+    return MacAddress.from_int(n)
+
+
+def pkt(src: int = 1, dst: int = 2) -> Packet:
+    return Packet(eth_src=mac(src), eth_dst=mac(dst))
+
+
+def rule(src: int, out: int, priority: int = 100) -> Rule:
+    return Rule(Match(dl_src=mac(src)), [ActionOutput(out)], priority=priority)
+
+
+class TestInstallRemove:
+    def test_install_and_lookup(self):
+        table = FlowTable()
+        table.install(rule(1, 9))
+        hit = table.lookup(pkt(src=1), in_port=1)
+        assert hit is not None
+        assert hit.actions == [ActionOutput(9)]
+        assert table.lookup(pkt(src=5), in_port=1) is None
+
+    def test_install_identical_entry_replaces(self):
+        table = FlowTable()
+        table.install(rule(1, 9))
+        table.install(rule(1, 10))
+        assert len(table) == 1
+        assert table.lookup(pkt(src=1), 1).actions == [ActionOutput(10)]
+
+    def test_nonstrict_delete_removes_overlapping(self):
+        table = FlowTable()
+        table.install(rule(1, 9))
+        table.install(rule(2, 9))
+        removed = table.remove(Match())  # wildcard overlaps everything
+        assert len(removed) == 2
+        assert len(table) == 0
+
+    def test_strict_delete_requires_identical_pattern(self):
+        table = FlowTable()
+        table.install(rule(1, 9))
+        assert table.remove(Match(), strict=True) == []
+        assert len(table) == 1
+        removed = table.remove(Match(dl_src=mac(1)), priority=100, strict=True)
+        assert len(removed) == 1
+
+    def test_remove_rule_object(self):
+        table = FlowTable()
+        r = rule(1, 9)
+        table.install(r)
+        assert table.remove_rule(r)
+        assert not table.remove_rule(r)
+
+
+class TestLookupSemantics:
+    def test_highest_priority_wins(self):
+        table = FlowTable()
+        table.install(rule(1, 9, priority=10))
+        table.install(rule(1, 8, priority=200))
+        assert table.lookup(pkt(src=1), 1).actions == [ActionOutput(8)]
+
+    def test_equal_priority_earliest_insertion_wins(self):
+        # Two distinct but overlapping patterns at the same priority: the
+        # earliest-installed entry must win deterministically.
+        table = FlowTable()
+        table.install(Rule(Match(in_port=1), [ActionOutput(1)], priority=50))
+        table.install(Rule(Match(), [ActionDrop()], priority=50))
+        assert table.lookup(pkt(), 1).actions == [ActionOutput(1)]
+
+    def test_identical_match_and_priority_replaces(self):
+        # OFPFC_ADD semantics: an identical entry overwrites the old one.
+        table = FlowTable()
+        table.install(Rule(Match(), [ActionOutput(1)], priority=50))
+        table.install(Rule(Match(), [ActionDrop()], priority=50))
+        assert len(table) == 1
+        assert table.lookup(pkt(), 1).actions == [ActionDrop()]
+
+    def test_in_port_constrained_rule(self):
+        table = FlowTable()
+        table.install(Rule(Match(in_port=2), [ActionOutput(3)]))
+        assert table.lookup(pkt(), 2) is not None
+        assert table.lookup(pkt(), 1) is None
+
+
+class TestCanonicalRepresentation:
+    def test_disjoint_rule_orderings_merge(self):
+        # The paper's example: two non-overlapping microflow rules installed
+        # in either order must serialize identically.
+        t1, t2 = FlowTable(), FlowTable()
+        t1.install(rule(1, 9))
+        t1.install(rule(2, 8))
+        t2.install(rule(2, 8))
+        t2.install(rule(1, 9))
+        assert t1.canonical() == t2.canonical()
+
+    def test_noncanonical_mode_distinguishes_orderings(self):
+        # NO-SWITCH-REDUCTION: insertion order leaks into the state.
+        t1 = FlowTable(canonical=False)
+        t2 = FlowTable(canonical=False)
+        t1.install(rule(1, 9))
+        t1.install(rule(2, 8))
+        t2.install(rule(2, 8))
+        t2.install(rule(1, 9))
+        assert t1.canonical() != t2.canonical()
+
+    def test_counters_distinguish_states_by_default(self):
+        t1, t2 = FlowTable(), FlowTable()
+        t1.install(rule(1, 9))
+        t2.install(rule(1, 9))
+        t1.lookup(pkt(src=1), 1).record_hit(64)
+        assert t1.canonical() != t2.canonical()
+        assert t1.canonical(include_counters=False) == t2.canonical(
+            include_counters=False)
+
+    @given(st.permutations(list(range(6))))
+    def test_canonical_is_order_invariant_for_disjoint_rules(self, order):
+        # Property: any insertion order of pairwise-disjoint rules yields
+        # the same canonical form.
+        reference = FlowTable()
+        for i in range(6):
+            reference.install(rule(i + 1, i))
+        table = FlowTable()
+        for i in order:
+            table.install(rule(i + 1, i))
+        assert table.canonical() == reference.canonical()
+
+    @given(st.permutations(list(range(5))), st.integers(0, 4))
+    def test_lookup_agrees_across_insertion_orders(self, order, probe):
+        # Property: for disjoint same-priority rules, the data-plane decision
+        # must not depend on insertion order.
+        reference = FlowTable()
+        for i in range(5):
+            reference.install(rule(i + 1, i))
+        table = FlowTable()
+        for i in order:
+            table.install(rule(i + 1, i))
+        probe_pkt = pkt(src=probe + 1)
+        ref_hit = reference.lookup(probe_pkt, 1)
+        got_hit = table.lookup(probe_pkt, 1)
+        assert (ref_hit is None) == (got_hit is None)
+        if ref_hit is not None:
+            assert ref_hit.actions == got_hit.actions
+
+
+class TestExpiry:
+    def test_expirable_rules_have_hard_timeout(self):
+        table = FlowTable()
+        table.install(Rule(Match(), [ActionOutput(1)], hard_timeout=5))
+        table.install(Rule(Match(dl_src=mac(1)), [ActionOutput(2)]))
+        assert len(table.expirable_rules()) == 1

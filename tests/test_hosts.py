@@ -1,0 +1,180 @@
+"""Unit tests for the end-host models and PKT-SEQ bookkeeping."""
+
+import pytest
+
+from repro.hosts.base import Host
+from repro.hosts.client import Client
+from repro.hosts.mobile import MobileHost
+from repro.hosts.ping import PingResponder
+from repro.hosts.server import EchoServer, Server
+from repro.openflow.packet import (
+    IPPROTO_TCP,
+    MacAddress,
+    TCP_ACK,
+    TCP_SYN,
+    l2_ping,
+    tcp_packet,
+)
+
+MAC_A = MacAddress.from_string("00:00:00:00:00:01")
+MAC_B = MacAddress.from_string("00:00:00:00:00:02")
+
+
+def make_client(npackets=2, ordered=True):
+    script = [l2_ping(MAC_A, MAC_B, payload=f"p{i}") for i in range(npackets)]
+    client = Client("A", MAC_A, 1, script=script, symbolic_client=False)
+    client.ordered_script = ordered
+    client.counter_c = 5
+    return client
+
+
+class TestSendBookkeeping:
+    def test_ordered_script_sends_in_order(self):
+        client = make_client()
+        assert client.send_candidates(10) == [("script", 0)]
+        pkt = client.take_send(("script", 0))
+        assert pkt.payload == "p0"
+        assert client.send_candidates(10) == [("script", 1)]
+
+    def test_unordered_script_enables_all(self):
+        client = make_client(3, ordered=False)
+        assert client.send_candidates(10) == [
+            ("script", 0), ("script", 1), ("script", 2)]
+        client.take_send(("script", 1))
+        assert client.send_candidates(10) == [("script", 0), ("script", 2)]
+
+    def test_double_send_rejected(self):
+        client = make_client(2, ordered=False)
+        client.take_send(("script", 0))
+        with pytest.raises(ValueError):
+            client.take_send(("script", 0))
+
+    def test_pkt_seq_sequence_bound(self):
+        client = make_client(3)
+        client.take_send(("script", 0))
+        assert client.send_candidates(1) == []  # bound hit
+        assert client.send_candidates(2) == [("script", 1)]
+
+    def test_burst_counter_blocks_sends(self):
+        client = make_client(2)
+        client.counter_c = 1
+        client.take_send(("script", 0))
+        assert client.counter_c == 0
+        assert client.send_candidates(10) == []
+
+    def test_receive_replenishes_counter(self):
+        # Section 4, PKT-SEQ: "increase c by one unit for every received
+        # packet".
+        client = make_client(2)
+        client.counter_c = 0
+        client.deliver(l2_ping(MAC_B, MAC_A))
+        client.receive()
+        assert client.counter_c == 1
+        assert client.send_candidates(10) == [("script", 0)]
+
+    def test_sym_send_counts(self):
+        client = make_client(0)
+        pkt = l2_ping(MAC_A, MAC_B)
+        sent = client.take_send_sym(pkt)
+        assert sent is not pkt          # template copied
+        assert client.sym_sent == 1
+        assert client.sent_count == 1
+
+    def test_unknown_descriptor(self):
+        with pytest.raises(ValueError):
+            make_client().take_send(("bogus", 0))
+
+
+class TestReactiveHosts:
+    def test_ping_responder_queues_pong(self):
+        responder = PingResponder("B", MAC_B, 2)
+        responder.deliver(l2_ping(MAC_A, MAC_B, payload="ping3"))
+        responder.receive()
+        assert len(responder.pending) == 1
+        pong = responder.pending[0]
+        assert pong.eth_src == MAC_B and pong.eth_dst == MAC_A
+        assert pong.payload == "pong3"
+
+    def test_ping_responder_ignores_pongs(self):
+        responder = PingResponder("B", MAC_B, 2)
+        pong = l2_ping(MAC_A, MAC_B, payload="pong1")
+        responder.deliver(pong)
+        responder.receive()
+        assert responder.pending == []
+
+    def test_reply_send_consumes_pending(self):
+        responder = PingResponder("B", MAC_B, 2)
+        responder.counter_c = 2
+        responder.deliver(l2_ping(MAC_A, MAC_B, payload="ping0"))
+        responder.receive()
+        assert responder.send_candidates(10) == [("pending", 0)]
+        responder.take_send(("pending", 0))
+        assert responder.pending == []
+        assert responder.reply_sent == 1
+
+    def test_server_completes_handshake(self):
+        server = Server("S", MAC_B, 42)
+        syn = tcp_packet(MAC_A, MAC_B, 1, 42, 1000, 80, flags=TCP_SYN)
+        server.deliver(syn)
+        server.receive()
+        reply = server.pending[0]
+        assert reply.tcp_flags == TCP_SYN | TCP_ACK
+        assert reply.tp_src == 80 and reply.tp_dst == 1000
+
+    def test_server_ignores_foreign_ip(self):
+        server = Server("S", MAC_B, 42)
+        server.deliver(tcp_packet(MAC_A, MAC_B, 1, 99, 1000, 80, flags=TCP_SYN))
+        server.receive()
+        assert server.pending == []
+
+    def test_echo_server_swaps_everything(self):
+        echo = EchoServer("E", MAC_B, 7)
+        pkt = tcp_packet(MAC_A, MAC_B, 1, 7, 1000, 80)
+        echo.deliver(pkt)
+        echo.receive()
+        reply = echo.pending[0]
+        assert reply.eth_dst == MAC_A
+        assert reply.ip_src == 7 and reply.ip_dst == 1
+
+
+class TestMobileHost:
+    def test_move_sequence(self):
+        host = MobileHost("B", MAC_B, 2, moves=[("s1", 3), ("s2", 1)])
+        assert host.move_targets() == [("s1", 3)]
+        assert host.take_move() == ("s1", 3)
+        assert host.move_targets() == [("s2", 1)]
+        host.take_move()
+        assert host.move_targets() == []
+
+    def test_base_host_cannot_move(self):
+        host = Host("A", MAC_A, 1)
+        assert host.move_targets() == []
+        with pytest.raises(NotImplementedError):
+            host.take_move()
+
+    def test_canonical_includes_move_state(self):
+        a = MobileHost("B", MAC_B, 2, moves=[("s1", 3)])
+        b = MobileHost("B", MAC_B, 2, moves=[("s1", 3)])
+        assert a.canonical() == b.canonical()
+        a.take_move()
+        assert a.canonical() != b.canonical()
+
+
+class TestCanonical:
+    def test_received_order_does_not_matter(self):
+        a, b = make_client(0), make_client(0)
+        p1 = l2_ping(MAC_B, MAC_A, payload="x")
+        p2 = l2_ping(MAC_B, MAC_A, payload="y")
+        a.deliver(p1.copy()); a.deliver(p2.copy())
+        a.receive(); a.receive()
+        b.deliver(p2.copy()); b.deliver(p1.copy())
+        b.receive(); b.receive()
+        assert a.canonical() == b.canonical()
+
+    def test_inbox_order_does_matter(self):
+        a, b = make_client(0), make_client(0)
+        p1 = l2_ping(MAC_B, MAC_A, payload="x")
+        p2 = l2_ping(MAC_B, MAC_A, payload="y")
+        a.deliver(p1.copy()); a.deliver(p2.copy())
+        b.deliver(p2.copy()); b.deliver(p1.copy())
+        assert a.canonical() != b.canonical()

@@ -1,0 +1,129 @@
+"""Unit tests for match patterns, including wildcard and prefix semantics."""
+
+import pytest
+
+from repro.openflow.match import (
+    DL_DST,
+    DL_SRC,
+    DL_TYPE,
+    IN_PORT,
+    Match,
+)
+from repro.openflow.packet import (
+    ETH_TYPE_IP,
+    IPPROTO_TCP,
+    MacAddress,
+    Packet,
+    ip_from_string,
+    tcp_packet,
+)
+
+MAC_A = MacAddress.from_string("00:00:00:00:00:01")
+MAC_B = MacAddress.from_string("00:00:00:00:00:02")
+
+
+def make_packet(**kwargs):
+    defaults = dict(eth_src=MAC_A, eth_dst=MAC_B, eth_type=ETH_TYPE_IP)
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+class TestExactMatch:
+    def test_wildcard_matches_everything(self):
+        assert Match().matches(make_packet(), in_port=1)
+
+    def test_exact_from_packet_matches_self(self):
+        pkt = tcp_packet(MAC_A, MAC_B, 10, 20, 1000, 80)
+        match = Match.exact_from_packet(pkt, in_port=3)
+        assert match.matches(pkt, 3)
+        assert not match.matches(pkt, 4)
+        assert match.is_exact()
+
+    def test_field_mismatch(self):
+        match = Match(dl_src=MAC_A)
+        assert match.matches(make_packet(), 1)
+        assert not match.matches(make_packet(eth_src=MAC_B), 1)
+
+    def test_from_dict_figure3_style(self):
+        # Figure 3 line 11 constructs the match as a field dict.
+        match = Match.from_dict({
+            DL_SRC: MAC_A, DL_DST: MAC_B, DL_TYPE: ETH_TYPE_IP, IN_PORT: 1,
+        })
+        assert match.matches(make_packet(), 1)
+        assert not match.matches(make_packet(), 2)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            Match.from_dict({"bogus": 1})
+
+    def test_transport_port_match(self):
+        match = Match(nw_proto=IPPROTO_TCP, tp_dst=80)
+        web = tcp_packet(MAC_A, MAC_B, 1, 2, 5555, 80)
+        other = tcp_packet(MAC_A, MAC_B, 1, 2, 5555, 443)
+        assert match.matches(web, 1)
+        assert not match.matches(other, 1)
+
+
+class TestPrefixMatch:
+    def test_prefix_wildcards_like_loadbalancer(self):
+        # The Section 8.2 load balancer splits client IP space with
+        # wildcard rules such as 64.0.0.0/2.
+        base = ip_from_string("64.0.0.0")
+        match = Match(nw_src=(base, 2))
+        inside = make_packet(ip_src=ip_from_string("100.1.2.3"))
+        outside = make_packet(ip_src=ip_from_string("192.0.0.1"))
+        assert match.matches(inside, 1)
+        assert not match.matches(outside, 1)
+
+    def test_zero_prefix_is_wildcard(self):
+        match = Match(nw_src=(0, 0))
+        assert match.matches(make_packet(ip_src=0xFFFFFFFF), 1)
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ValueError):
+            Match(nw_src=(0, 33))
+
+    def test_host_prefix_equals_exact(self):
+        addr = ip_from_string("10.0.0.1")
+        assert Match(nw_src=(addr, 32)).canonical() == Match(nw_src=addr).canonical()
+
+
+class TestOverlap:
+    def test_disjoint_exact_rules_do_not_overlap(self):
+        m1 = Match(dl_src=MAC_A)
+        m2 = Match(dl_src=MAC_B)
+        assert not m1.overlaps(m2)
+
+    def test_wildcard_overlaps_everything(self):
+        assert Match().overlaps(Match(dl_src=MAC_A))
+
+    def test_prefix_overlap(self):
+        a = Match(nw_src=(ip_from_string("10.0.0.0"), 8))
+        b = Match(nw_src=(ip_from_string("10.1.0.0"), 16))
+        c = Match(nw_src=(ip_from_string("11.0.0.0"), 8))
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_overlap_is_symmetric(self):
+        a = Match(dl_src=MAC_A, nw_proto=IPPROTO_TCP)
+        b = Match(tp_dst=80)
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestCanonical:
+    def test_equal_patterns_equal_canonical(self):
+        a = Match(dl_src=MAC_A, tp_dst=80)
+        b = Match(tp_dst=80, dl_src=MacAddress.from_string("00:00:00:00:00:01"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_specificity_orders_wildcards_last(self):
+        exact = Match.exact_from_packet(make_packet(), 1)
+        assert exact.specificity() > Match(dl_src=MAC_A).specificity()
+        assert Match().specificity() == 0
+
+    def test_repr_mentions_fields(self):
+        text = repr(Match(tp_dst=80))
+        assert "tp_dst=80" in text
+        assert repr(Match()) == "Match(*)"

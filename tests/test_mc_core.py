@@ -1,0 +1,241 @@
+"""Tests for canonical serialization, the system model, and replay."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import scenarios
+from repro.config import NiceConfig
+from repro.errors import ReplayError, TransitionError
+from repro.mc import transitions as tk
+from repro.mc.canonical import canonicalize, state_hash, state_string
+from repro.mc.replay import format_trace, replay_steps, replay_trace
+from repro.mc.transitions import Transition
+
+
+class TestCanonicalize:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x", b"y"):
+            assert canonicalize(value) == value
+
+    def test_dict_key_order_irrelevant(self):
+        assert canonicalize({"a": 1, "b": 2}) == canonicalize({"b": 2, "a": 1})
+
+    def test_set_order_irrelevant(self):
+        assert canonicalize({3, 1, 2}) == canonicalize({2, 3, 1})
+
+    def test_list_order_matters(self):
+        assert canonicalize([1, 2]) != canonicalize([2, 1])
+
+    def test_objects_with_canonical_method(self):
+        from repro.openflow.packet import MacAddress
+
+        mac = MacAddress.from_int(5)
+        assert canonicalize(mac) == mac.canonical()
+
+    def test_plain_objects_use_vars(self):
+        class Thing:
+            def __init__(self):
+                self.x = 1
+
+        assert canonicalize(Thing()) == ("obj", "Thing", ("dict", ("x", 1)))
+
+    def test_uncanonicalizable_raises(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+    @given(st.dictionaries(st.text(max_size=5), st.integers(), max_size=6))
+    def test_hash_stable_across_insertion_orders(self, data):
+        reordered = dict(sorted(data.items(), reverse=True))
+        assert state_hash(data) == state_hash(reordered)
+
+    def test_state_string_is_deterministic(self):
+        payload = {"z": [1, 2], "a": {"nested": True}}
+        assert state_string(payload) == state_string(payload)
+
+
+class TestTransitionDescriptors:
+    def test_equality_and_hash(self):
+        a = Transition(tk.PROCESS_PKT, "s1")
+        b = Transition(tk.PROCESS_PKT, "s1")
+        c = Transition(tk.PROCESS_PKT, "s2")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_payload_not_part_of_identity(self):
+        a = Transition(tk.HOST_SEND, "A", ("sym", (1, 2)), payload="X")
+        b = Transition(tk.HOST_SEND, "A", ("sym", (1, 2)), payload="Y")
+        assert a == b
+
+    def test_repr(self):
+        assert repr(Transition(tk.HOST_RECV, "A")) == "host_recv(A)"
+        assert "script" in repr(Transition(tk.HOST_SEND, "A", ("script", 0)))
+
+
+class TestSystemModel:
+    def make_system(self):
+        return scenarios.ping_experiment(pings=1).system_factory()
+
+    def test_boot_delivers_switch_joins(self):
+        system = self.make_system()
+        assert set(system.app.ctrl_state) == {"s1", "s2"}
+
+    def test_initial_enabled_transitions(self):
+        system = self.make_system()
+        kinds = {(t.kind, t.actor) for t in system.enabled_transitions()}
+        assert (tk.HOST_SEND, "A") in {(k, a) for k, a in kinds}
+
+    def test_execute_unknown_switch_raises(self):
+        system = self.make_system()
+        with pytest.raises(TransitionError):
+            system.execute(Transition(tk.PROCESS_PKT, "ghost"))
+
+    def test_clone_isolates_mutation(self):
+        system = self.make_system()
+        clone = system.clone()
+        send = [t for t in system.enabled_transitions()
+                if t.kind == tk.HOST_SEND][0]
+        system.execute(send)
+        assert system.state_hash() != clone.state_hash()
+        assert clone.hosts["A"].sent_count == 0
+
+    def test_clone_shares_topology(self):
+        system = self.make_system()
+        assert system.clone().topo is system.topo
+
+    def test_route_to_missing_attachment_records_loss(self):
+        system = self.make_system()
+        packet = system.hosts["A"].script[0].copy()
+        packet.uid = ("test", 1)
+        system.route("s1", [(2, packet)])   # port 2 leads to s2: delivered
+        assert not system.ledger.lost
+        # detach B and route to its port on s2
+        system.attachments.pop(("s2", 2))
+        packet2 = packet.copy()
+        system.route("s2", [(2, packet2)])
+        assert system.ledger.lost
+
+    def test_uid_assignment_is_content_based(self):
+        a = self.make_system()
+        b = self.make_system()
+        send = [t for t in a.enabled_transitions()
+                if t.kind == tk.HOST_SEND][0]
+        a.execute(send)
+        b.execute(send)
+        assert a.ledger.injected == b.ledger.injected
+
+    def test_state_hash_equal_for_equal_histories(self):
+        a, b = self.make_system(), self.make_system()
+        assert a.state_hash() == b.state_hash()
+
+    def test_quiescent_after_full_run(self):
+        system = self.make_system()
+        for _ in range(100):
+            enabled = system.enabled_transitions()
+            if not enabled:
+                break
+            system.execute(enabled[0])
+        assert system.quiescent()
+        assert len(system.hosts["A"].received) >= 1  # pong came back
+
+    def test_ctrl_event_fires_once(self):
+        scenario = scenarios.loadbalancer_scenario()
+        system = scenario.system_factory()
+        event = [t for t in system.enabled_transitions()
+                 if t.kind == tk.CTRL_EVENT][0]
+        system.execute(event)
+        assert system.app.mode == "transition"
+        with pytest.raises(TransitionError):
+            system.execute(event)
+
+    def test_host_move_updates_attachments(self):
+        scenario = scenarios.pyswitch_mobile()
+        system = scenario.system_factory()
+        move = [t for t in system.enabled_transitions()
+                if t.kind == tk.HOST_MOVE][0]
+        system.execute(move)
+        assert system.host_locations["B"] == ("s1", 3)
+        assert system.attachments[("s1", 3)] == "B"
+        assert ("s1", 2) not in system.attachments
+
+
+class TestReplay:
+    def test_replay_reaches_same_state(self):
+        scenario = scenarios.ping_experiment(pings=1)
+        system = scenario.system_factory()
+        trace = []
+        for _ in range(12):
+            enabled = system.enabled_transitions()
+            if not enabled:
+                break
+            system.execute(enabled[-1])
+            trace.append(enabled[-1])
+        replayed = replay_trace(scenario.system_factory, trace,
+                                expected_hash=system.state_hash())
+        assert replayed.state_hash() == system.state_hash()
+
+    def test_replay_detects_mismatch(self):
+        scenario = scenarios.ping_experiment(pings=1)
+        with pytest.raises(ReplayError):
+            replay_trace(scenario.system_factory, [],
+                         expected_hash="definitely-not-the-hash")
+
+    def test_replay_invalid_transition_raises(self):
+        scenario = scenarios.ping_experiment(pings=1)
+        bogus = [Transition(tk.PROCESS_PKT, "s1")]  # nothing queued yet
+        with pytest.raises(ReplayError):
+            replay_trace(scenario.system_factory, bogus)
+
+    def test_replay_steps_yields_intermediates(self):
+        scenario = scenarios.ping_experiment(pings=1)
+        system = scenario.system_factory()
+        enabled = system.enabled_transitions()
+        system.execute(enabled[0])
+        steps = list(replay_steps(scenario.system_factory, [enabled[0]]))
+        assert len(steps) == 2
+        assert steps[0][0] == -1
+        assert steps[1][1] == enabled[0]
+
+    def test_format_trace(self):
+        text = format_trace([Transition(tk.HOST_RECV, "A")])
+        assert "host_recv(A)" in text
+        assert format_trace([]) == "(empty trace)"
+
+
+class TestSearchModes:
+    def test_bfs_explores_same_reachable_space(self):
+        import dataclasses
+
+        base = scenarios.ping_experiment(pings=1)
+        dfs = base
+        bfs = scenarios.ping_experiment(
+            pings=1, config=NiceConfig(search_order="bfs"))
+        from repro import nice
+
+        r_dfs, r_bfs = nice.run(dfs), nice.run(bfs)
+        assert r_dfs.unique_states == r_bfs.unique_states
+
+    def test_random_walk_is_seeded(self):
+        from repro import nice
+
+        scenario = scenarios.ping_experiment(pings=2)
+        a = nice.random_walk(scenario, steps=50, seed=3)
+        b = nice.random_walk(scenario, steps=50, seed=3)
+        assert a.transitions_executed == b.transitions_executed
+        assert a.unique_states == b.unique_states
+
+    def test_max_depth_bounds_search(self):
+        from repro import nice
+
+        scenario = scenarios.ping_experiment(
+            pings=2, config=NiceConfig(max_depth=3))
+        bounded = nice.run(scenario)
+        full = nice.run(scenarios.ping_experiment(pings=2))
+        assert bounded.transitions_executed < full.transitions_executed
+
+    def test_disabling_state_matching_counts_revisits(self):
+        from repro import nice
+
+        config = NiceConfig(state_matching=False, max_transitions=2000)
+        result = nice.run(scenarios.ping_experiment(pings=1, config=config))
+        exhaustive = nice.run(scenarios.ping_experiment(pings=1))
+        assert result.transitions_executed >= exhaustive.transitions_executed

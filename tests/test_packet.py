@@ -1,0 +1,142 @@
+"""Unit tests for packets and address types."""
+
+import pytest
+
+from repro.openflow.packet import (
+    ARP_REPLY,
+    ARP_REQUEST,
+    ETH_TYPE_ARP,
+    ETH_TYPE_IP,
+    MacAddress,
+    Packet,
+    arp_reply,
+    arp_request,
+    ip_from_string,
+    ip_to_string,
+    l2_ping,
+    l2_pong,
+    tcp_packet,
+    TCP_SYN,
+)
+
+MAC_A = MacAddress.from_string("00:00:00:00:00:01")
+MAC_B = MacAddress.from_string("00:00:00:00:00:02")
+
+
+class TestMacAddress:
+    def test_from_string_roundtrip(self):
+        assert repr(MAC_A) == "00:00:00:00:00:01"
+
+    def test_from_int_roundtrip(self):
+        mac = MacAddress.from_int(0x0000DEADBEEF)
+        assert mac.to_int() == 0x0000DEADBEEF
+        assert MacAddress.from_int(mac.to_int()) == mac
+
+    def test_byte_indexing_matches_figure3_idiom(self):
+        # Figure 3 line 4: is_bcast_src = pkt.src[0] & 1
+        assert MAC_A[0] & 1 == 0
+        assert MacAddress.broadcast()[0] & 1 == 1
+
+    def test_is_broadcast(self):
+        assert MacAddress.broadcast().is_broadcast
+        assert not MAC_A.is_broadcast
+        multicast = MacAddress((0x01, 0, 0, 0, 0, 5))
+        assert multicast.is_broadcast
+
+    def test_equality_with_tuple(self):
+        assert MAC_A == (0, 0, 0, 0, 0, 1)
+        assert MAC_A != MAC_B
+
+    def test_hashable(self):
+        table = {MAC_A: 1}
+        assert table[MacAddress.from_string("00:00:00:00:00:01")] == 1
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            MacAddress((1, 2, 3))
+        with pytest.raises(ValueError):
+            MacAddress.from_string("00:00:00:00:00")
+
+    def test_rejects_out_of_range_bytes(self):
+        with pytest.raises(ValueError):
+            MacAddress((0, 0, 0, 0, 0, 256))
+        with pytest.raises(ValueError):
+            MacAddress.from_int(1 << 48)
+
+    def test_len_and_iter(self):
+        assert len(MAC_A) == 6
+        assert list(MAC_A) == [0, 0, 0, 0, 0, 1]
+
+
+class TestIpHelpers:
+    def test_roundtrip(self):
+        value = ip_from_string("10.0.0.1")
+        assert value == 0x0A000001
+        assert ip_to_string(value) == "10.0.0.1"
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            ip_from_string("10.0.0")
+        with pytest.raises(ValueError):
+            ip_from_string("10.0.0.256")
+
+
+class TestPacket:
+    def test_aliases_match_paper_names(self):
+        pkt = l2_ping(MAC_A, MAC_B)
+        assert pkt.src == MAC_A
+        assert pkt.dst == MAC_B
+        assert pkt.type == ETH_TYPE_IP
+
+    def test_ping_pong_swaps_addresses(self):
+        ping = l2_ping(MAC_A, MAC_B)
+        pong = l2_pong(ping)
+        assert pong.eth_src == MAC_B
+        assert pong.eth_dst == MAC_A
+
+    def test_copy_preserves_uid_and_hops(self):
+        pkt = l2_ping(MAC_A, MAC_B)
+        pkt.uid = 7
+        pkt.hops.append(("s1", 1))
+        dup = pkt.copy()
+        assert dup.uid == 7
+        assert dup.hops == [("s1", 1)]
+        dup.hops.append(("s2", 2))
+        assert pkt.hops == [("s1", 1)]  # copies do not share hop lists
+
+    def test_copy_with_new_copy_id(self):
+        pkt = l2_ping(MAC_A, MAC_B)
+        dup = pkt.copy(new_copy_id=(("s1", 2),))
+        assert dup.copy_id == (("s1", 2),)
+        assert dup.uid == pkt.uid
+        assert dup.same_headers(pkt)
+
+    def test_flow_key_ignores_flags(self):
+        syn = tcp_packet(MAC_A, MAC_B, 1, 2, 1000, 80, flags=TCP_SYN)
+        data = tcp_packet(MAC_A, MAC_B, 1, 2, 1000, 80, flags=0)
+        assert syn.flow_key() == data.flow_key()
+
+    def test_header_equality_vs_identity(self):
+        a = l2_ping(MAC_A, MAC_B)
+        b = l2_ping(MAC_A, MAC_B)
+        a.uid, b.uid = 1, 2
+        assert a.same_headers(b)
+        assert a != b  # canonical() includes identity
+
+    def test_arp_builders(self):
+        req = arp_request(MAC_A, 1, 2)
+        assert req.eth_type == ETH_TYPE_ARP
+        assert req.arp_op == ARP_REQUEST
+        assert req.eth_dst.is_broadcast
+        rep = arp_reply(MAC_B, MAC_A, 2, 1)
+        assert rep.arp_op == ARP_REPLY
+        assert rep.eth_dst == MAC_A
+
+    def test_repr_contains_uid(self):
+        pkt = l2_ping(MAC_A, MAC_B)
+        pkt.uid = 42
+        assert "#42" in repr(pkt)
+
+    def test_canonical_is_hashable(self):
+        pkt = l2_ping(MAC_A, MAC_B)
+        assert hash(pkt) == hash(pkt.copy())

@@ -1,0 +1,216 @@
+"""Unit tests for the correctness-property library."""
+
+import pytest
+
+from repro import scenarios
+from repro.errors import PropertyViolation
+from repro.mc import transitions as tk
+from repro.mc.transitions import Transition
+from repro.openflow.packet import MacAddress, l2_ping
+from repro.properties import (
+    DirectPaths,
+    NoBlackHoles,
+    NoForgottenPackets,
+    NoForwardingLoops,
+    StrictDirectPaths,
+    make_properties,
+    PROPERTY_LIBRARY,
+)
+
+MAC_A = MacAddress.from_string("00:00:00:00:00:01")
+MAC_B = MacAddress.from_string("00:00:00:00:00:02")
+
+
+def ping_system():
+    return scenarios.ping_experiment(pings=1).system_factory()
+
+
+def run_to_quiescence(system, limit=200):
+    for _ in range(limit):
+        enabled = system.enabled_transitions()
+        if not enabled:
+            return system
+        system.execute(enabled[0])
+    raise AssertionError("system did not quiesce")
+
+
+class TestLibraryRegistry:
+    def test_make_properties_by_name(self):
+        properties = make_properties(["NoBlackHoles", "DirectPaths"])
+        assert [type(p).__name__ for p in properties] == [
+            "NoBlackHoles", "DirectPaths"]
+
+    def test_make_properties_passthrough_instances(self):
+        instance = NoForgottenPackets()
+        assert make_properties([instance]) == [instance]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_properties(["NoSuchProperty"])
+
+    def test_library_covers_section_52(self):
+        assert set(PROPERTY_LIBRARY) == {
+            "NoForwardingLoops", "NoBlackHoles", "DirectPaths",
+            "StrictDirectPaths", "NoForgottenPackets"}
+
+
+class TestNoForwardingLoops:
+    def test_clean_system_passes(self):
+        system = run_to_quiescence(ping_system())
+        NoForwardingLoops().check(system, None)  # no exception
+
+    def test_repeated_hop_flagged(self):
+        system = ping_system()
+        packet = l2_ping(MAC_A, MAC_B)
+        packet.uid = ("t", 1)
+        packet.hops = [("s1", 1), ("s2", 1), ("s1", 1)]
+        system.switches["s1"].port_in[1].enqueue(packet)
+        with pytest.raises(PropertyViolation):
+            NoForwardingLoops().check(system, None)
+
+
+class TestNoBlackHoles:
+    def test_delivered_traffic_passes(self):
+        system = run_to_quiescence(ping_system())
+        NoBlackHoles().check_quiescent(system)
+
+    def test_lost_packet_flagged(self):
+        system = ping_system()
+        packet = l2_ping(MAC_A, MAC_B)
+        packet.uid = ("A", "x", 0)
+        system.ledger.record_injected(packet, "A")
+        system.ledger.record_lost(packet, "s1", 9)
+        with pytest.raises(PropertyViolation):
+            NoBlackHoles().check_quiescent(system)
+
+    def test_controller_consumed_is_not_a_black_hole(self):
+        system = ping_system()
+        packet = l2_ping(MAC_A, MAC_B)
+        packet.uid = ("A", "x", 0)
+        system.ledger.record_injected(packet, "A")
+        system.switches["s1"].dropped.append(("ctrl_discard", packet.uid, ()))
+        NoBlackHoles().check_quiescent(system)
+
+    def test_rule_drop_policy(self):
+        system = ping_system()
+        packet = l2_ping(MAC_A, MAC_B)
+        packet.uid = ("A", "x", 0)
+        system.ledger.record_injected(packet, "A")
+        system.switches["s1"].dropped.append(("rule_drop", packet.uid, ()))
+        with pytest.raises(PropertyViolation):
+            NoBlackHoles().check_quiescent(system)
+        NoBlackHoles(allow_rule_drops=True).check_quiescent(system)
+
+    def test_buffered_is_deferred_to_no_forgotten(self):
+        system = ping_system()
+        packet = l2_ping(MAC_A, MAC_B)
+        packet.uid = ("A", "x", 0)
+        system.ledger.record_injected(packet, "A")
+        system.switches["s1"].buffers[1] = (packet, 1)
+        NoBlackHoles().check_quiescent(system)   # NoForgottenPackets' job
+
+
+class TestNoForgottenPackets:
+    def test_empty_buffers_pass(self):
+        system = run_to_quiescence(ping_system())
+        NoForgottenPackets().check_quiescent(system)
+
+    def test_buffered_packet_flagged(self):
+        system = ping_system()
+        packet = l2_ping(MAC_A, MAC_B)
+        packet.uid = ("A", "x", 0)
+        system.switches["s2"].buffers[4] = (packet, 1)
+        with pytest.raises(PropertyViolation) as exc:
+            NoForgottenPackets().check_quiescent(system)
+        assert "s2" in str(exc.value)
+
+
+class TestDirectPathsFamily:
+    def _inject_and_deliver(self, system, packet, host):
+        system.ledger.record_injected(packet, packet.uid[0])
+        system.hosts[host].received.append(packet)
+        system.ledger.record_delivered(packet, host)
+
+    def test_direct_paths_flags_post_delivery_packet_in(self):
+        system = ping_system()
+        first = l2_ping(MAC_A, MAC_B)
+        first.uid = ("A", "s0", 0)
+        self._inject_and_deliver(system, first, "B")
+        second = l2_ping(MAC_A, MAC_B)
+        second.uid = ("A", "s0", 1)
+        system.ledger.record_injected(second, "A")
+        system.switches["s1"].packet_in_log.append((second, "no_match"))
+        with pytest.raises(PropertyViolation):
+            DirectPaths().check(system, None)
+
+    def test_direct_paths_tolerates_in_flight_packet(self):
+        # The packet was injected *before* the first delivery: natural
+        # delay, not a violation (Section 5.2's "safe time").
+        system = ping_system()
+        second = l2_ping(MAC_A, MAC_B)
+        second.uid = ("A", "s0", 1)
+        system.ledger.record_injected(second, "A")
+        first = l2_ping(MAC_A, MAC_B)
+        first.uid = ("A", "s0", 0)
+        self._inject_and_deliver(system, first, "B")
+        system.switches["s1"].packet_in_log.append((second, "no_match"))
+        DirectPaths().check(system, None)
+
+    def test_strict_requires_both_directions(self):
+        system = ping_system()
+        forward = l2_ping(MAC_A, MAC_B)
+        forward.uid = ("A", "s0", 0)
+        self._inject_and_deliver(system, forward, "B")
+        third = l2_ping(MAC_A, MAC_B)
+        third.uid = ("A", "s0", 1)
+        system.ledger.record_injected(third, "A")
+        system.switches["s1"].packet_in_log.append((third, "no_match"))
+        # Only one direction delivered: StrictDirectPaths does NOT fire.
+        StrictDirectPaths().check(system, None)
+        # Complete the reverse direction, then a later packet violates.
+        reverse = l2_ping(MAC_B, MAC_A)
+        reverse.uid = ("B", "s0", 0)
+        self._inject_and_deliver(system, reverse, "A")
+        fourth = l2_ping(MAC_A, MAC_B)
+        fourth.uid = ("A", "s0", 2)
+        system.ledger.record_injected(fourth, "A")
+        system.switches["s1"].packet_in_log.append((fourth, "no_match"))
+        with pytest.raises(PropertyViolation):
+            StrictDirectPaths().check(system, None)
+
+    def test_broadcast_packets_exempt(self):
+        system = ping_system()
+        bcast = l2_ping(MAC_A, MacAddress.broadcast())
+        bcast.uid = ("A", "s0", 0)
+        system.switches["s1"].packet_in_log.append((bcast, "no_match"))
+        DirectPaths().check(system, None)
+        StrictDirectPaths().check(system, None)
+
+
+class TestPropertyProtocol:
+    def test_violation_helper_raises_with_name(self):
+        from repro.properties.base import Property
+
+        class Custom(Property):
+            name = "MyInvariant"
+
+        with pytest.raises(PropertyViolation) as exc:
+            Custom().violation("boom")
+        assert exc.value.property_name == "MyInvariant"
+        assert "boom" in str(exc.value)
+
+    def test_custom_property_over_global_state(self):
+        # Section 5.1: properties are Python snippets over global state.
+        from repro.properties.base import Property
+
+        class NoRulesAnywhere(Property):
+            name = "NoRulesAnywhere"
+
+            def check(self, system, transition):
+                for switch in system.switches.values():
+                    if len(switch.table):
+                        self.violation(f"{switch.switch_id} has rules")
+
+        system = run_to_quiescence(ping_system())
+        with pytest.raises(PropertyViolation):
+            NoRulesAnywhere().check(system, None)

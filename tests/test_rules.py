@@ -1,0 +1,114 @@
+"""Unit tests for rules, actions, and OpenFlow messages."""
+
+import pytest
+
+from repro.controller.api import normalize_actions
+from repro.openflow.actions import (
+    ActionController,
+    ActionDrop,
+    ActionFlood,
+    ActionOutput,
+    ActionSetDlDst,
+    ActionSetDlSrc,
+    ActionTable,
+    actions_from_pair,
+    canonical_actions,
+)
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    FlowMod,
+    OFPFC_ADD,
+    PacketOut,
+    StatsReply,
+)
+from repro.openflow.packet import MacAddress
+from repro.openflow.rules import DEFAULT_PRIORITY, PERMANENT, Rule
+
+
+class TestActions:
+    def test_value_equality(self):
+        assert ActionOutput(3) == ActionOutput(3)
+        assert ActionOutput(3) != ActionOutput(4)
+        assert ActionFlood() == ActionFlood()
+        assert ActionFlood() != ActionDrop()
+
+    def test_hashable(self):
+        actions = {ActionOutput(1), ActionOutput(1), ActionDrop()}
+        assert len(actions) == 2
+
+    def test_set_dl_actions_carry_mac(self):
+        mac = MacAddress.from_int(9)
+        assert ActionSetDlSrc(mac).canonical() == ("set_dl_src", repr(mac))
+        assert ActionSetDlDst(mac) != ActionSetDlSrc(mac)
+
+    def test_paper_pair_style(self):
+        assert actions_from_pair("output", 7) == [ActionOutput(7)]
+        assert actions_from_pair("flood", None) == [ActionFlood()]
+        assert actions_from_pair("controller", None) == [ActionController()]
+        with pytest.raises(ValueError):
+            actions_from_pair("warp", 1)
+
+    def test_canonical_actions_order_sensitive(self):
+        a = canonical_actions([ActionSetDlDst(MacAddress.from_int(1)),
+                               ActionOutput(2)])
+        b = canonical_actions([ActionOutput(2),
+                               ActionSetDlDst(MacAddress.from_int(1))])
+        assert a != b   # action lists execute in order
+
+
+class TestRules:
+    def test_counters_start_zero_and_accumulate(self):
+        rule = Rule(Match(), [ActionOutput(1)])
+        assert (rule.packet_count, rule.byte_count) == (0, 0)
+        rule.record_hit(100)
+        rule.record_hit(28)
+        assert (rule.packet_count, rule.byte_count) == (2, 128)
+
+    def test_defaults(self):
+        rule = Rule(Match(), [ActionOutput(1)])
+        assert rule.priority == DEFAULT_PRIORITY
+        assert rule.idle_timeout == PERMANENT
+        assert not rule.can_expire
+
+    def test_can_expire(self):
+        assert Rule(Match(), [], hard_timeout=5).can_expire
+        assert Rule(Match(), [], idle_timeout=5).can_expire
+
+    def test_same_entry_ignores_actions_and_counters(self):
+        a = Rule(Match(tp_dst=80), [ActionOutput(1)], priority=7)
+        b = Rule(Match(tp_dst=80), [ActionDrop()], priority=7)
+        c = Rule(Match(tp_dst=80), [ActionOutput(1)], priority=8)
+        assert a.same_entry(b)
+        assert not a.same_entry(c)
+
+    def test_canonical_with_and_without_counters(self):
+        rule = Rule(Match(), [ActionOutput(1)])
+        rule.record_hit(64)
+        with_counters = rule.canonical(include_counters=True)
+        without = rule.canonical(include_counters=False)
+        assert with_counters != without
+        fresh = Rule(Match(), [ActionOutput(1)])
+        assert fresh.canonical(include_counters=False) == without
+
+
+class TestMessages:
+    def test_flow_mod_validates_command(self):
+        with pytest.raises(ValueError):
+            FlowMod("upsert", Match())
+
+    def test_packet_out_needs_target(self):
+        with pytest.raises(ValueError):
+            PacketOut(None, None, [ActionOutput(1)])
+
+    def test_message_value_equality(self):
+        a = FlowMod(OFPFC_ADD, Match(tp_dst=80), [ActionOutput(1)])
+        b = FlowMod(OFPFC_ADD, Match(tp_dst=80), [ActionOutput(1)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_stats_reply_canonical_freezes_nested_dicts(self):
+        a = StatsReply("s1", "port", {1: {"tx_bytes": 5, "rx_bytes": 0}})
+        b = StatsReply("s1", "port", {1: {"rx_bytes": 0, "tx_bytes": 5}})
+        assert a.canonical() == b.canonical()
+
+    def test_table_action_via_api_default(self):
+        assert normalize_actions([ActionTable()]) == [ActionTable()]

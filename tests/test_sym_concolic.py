@@ -1,0 +1,251 @@
+"""Tests for concolic proxies, the dict stub, and the solver."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SolverError
+from repro.openflow.packet import MacAddress
+from repro.sym.concolic import PathRecorder, SymBool, SymBytes, SymInt
+from repro.sym.expr import (
+    Cmp,
+    Const,
+    InSet,
+    Var,
+    eval_bool,
+)
+from repro.sym.solver import Domain, Solver, stats_candidates
+from repro.sym.symdict import SymDict
+
+MAC_A = MacAddress.from_string("00:00:00:00:00:01")
+MAC_B = MacAddress.from_string("00:00:00:00:00:02")
+
+
+class TestBranchRecording:
+    def test_symbool_records_on_truth_test(self):
+        recorder = PathRecorder()
+        flag = SymBool(True, Cmp("eq", Var("x"), Const(1)), recorder)
+        assert bool(flag)
+        assert len(recorder) == 1
+        expr, taken = recorder.branches[0]
+        assert taken is True
+
+    def test_symint_truthiness_records_nonzero(self):
+        recorder = PathRecorder()
+        value = SymInt(0, Var("x"), recorder)
+        assert not value
+        expr, taken = recorder.branches[0]
+        assert taken is False
+        assert eval_bool(expr, {"x": 5})      # x != 0
+        assert not eval_bool(expr, {"x": 0})
+
+    def test_figure3_broadcast_idiom(self):
+        # is_bcast_src = pkt.src[0] & 1; if not is_bcast_src:
+        recorder = PathRecorder()
+        src = SymBytes(MAC_A, Var("eth_src", 48), recorder)
+        is_bcast = src[0] & 1
+        assert isinstance(is_bcast, SymInt)
+        taken = bool(is_bcast)
+        assert not taken               # unicast MAC
+        assert len(recorder) == 1
+        expr, outcome = recorder.branches[0]
+        broadcast = MacAddress.broadcast().to_int()
+        assert eval_bool(expr, {"eth_src": broadcast})
+        assert not eval_bool(expr, {"eth_src": MAC_A.to_int()})
+
+    def test_short_circuit_records_each_operand(self):
+        # `a and b` must record a, and record b only when a held — the
+        # paper's composite-predicate splitting, for free via __bool__.
+        recorder = PathRecorder()
+        a = SymBool(True, Cmp("eq", Var("x"), Const(1)), recorder)
+        b = SymBool(False, Cmp("eq", Var("y"), Const(2)), recorder)
+        if a and b:   # the `if` truth-tests a, then (a held) tests b
+            pass
+        assert len(recorder.branches) == 2
+        recorder2 = PathRecorder()
+        a_false = SymBool(False, Cmp("eq", Var("x"), Const(1)), recorder2)
+        b2 = SymBool(True, Cmp("eq", Var("y"), Const(2)), recorder2)
+        if a_false and b2:
+            pass
+        assert len(recorder2.branches) == 1   # b never evaluated
+
+    def test_comparisons_do_not_record_until_bool(self):
+        recorder = PathRecorder()
+        value = SymInt(5, Var("x"), recorder)
+        _comparison = value == 5    # building the SymBool records nothing
+        assert len(recorder) == 0
+
+    def test_symbytes_equality(self):
+        recorder = PathRecorder()
+        dst = SymBytes(MAC_B, Var("eth_dst", 48), recorder)
+        assert bool(dst == MAC_B)
+        assert not bool(dst == MAC_A)
+        assert bool(dst != MAC_A)
+        assert len(recorder.branches) == 3
+
+    def test_symbytes_is_broadcast(self):
+        recorder = PathRecorder()
+        bcast = SymBytes(MacAddress.broadcast(), Var("d", 48), recorder)
+        assert bool(bcast.is_broadcast)
+        unicast = SymBytes(MAC_A, Var("d", 48), recorder)
+        assert not bool(unicast.is_broadcast)
+
+    def test_symint_hash_is_concrete(self):
+        recorder = PathRecorder()
+        value = SymInt(42, Var("x"), recorder)
+        assert hash(value) == hash(42)
+        assert int(value) == 42
+
+
+class TestSymDict:
+    def make(self, data):
+        recorder = PathRecorder()
+        return SymDict(dict(data), recorder), recorder
+
+    def test_contains_with_symbolic_key_records_inset(self):
+        table, recorder = self.make({MAC_A: 1})
+        key = SymBytes(MAC_A, Var("dst", 48), recorder)
+        assert key in table
+        expr, _ = recorder.branches[0]
+        assert eval_bool(expr, {"dst": MAC_A.to_int()})
+        assert not eval_bool(expr, {"dst": MAC_B.to_int()})
+
+    def test_absent_symbolic_key_records_negated_inset(self):
+        table, recorder = self.make({MAC_A: 1})
+        key = SymBytes(MAC_B, Var("dst", 48), recorder)
+        assert key not in table
+        expr, _ = recorder.branches[0]
+        assert eval_bool(expr, {"dst": MAC_B.to_int()})       # negated InSet
+        assert not eval_bool(expr, {"dst": MAC_A.to_int()})
+
+    def test_has_key_alias(self):
+        table, recorder = self.make({MAC_A: 1})
+        key = SymBytes(MAC_A, Var("dst", 48), recorder)
+        assert table.has_key(key)
+
+    def test_getitem_records_matched_key(self):
+        table, recorder = self.make({MAC_A: 7, MAC_B: 9})
+        key = SymBytes(MAC_B, Var("dst", 48), recorder)
+        assert table[key] == 9
+        expr, _ = recorder.branches[-1]
+        assert eval_bool(expr, {"dst": MAC_B.to_int()})
+        assert not eval_bool(expr, {"dst": MAC_A.to_int()})
+
+    def test_getitem_missing_raises_keyerror(self):
+        table, recorder = self.make({MAC_A: 7})
+        key = SymBytes(MAC_B, Var("dst", 48), recorder)
+        with pytest.raises(KeyError):
+            table[key]
+        assert len(recorder.branches) == 1
+
+    def test_setitem_concretizes_key(self):
+        table, recorder = self.make({})
+        key = SymBytes(MAC_A, Var("src", 48), recorder)
+        table[key] = 3
+        assert table._data == {MAC_A: 3}
+
+    def test_nested_dicts_wrapped_lazily(self):
+        table, recorder = self.make({"s1": {MAC_A: 1}})
+        inner = table["s1"]
+        assert isinstance(inner, SymDict)
+        key = SymBytes(MAC_A, Var("dst", 48), recorder)
+        assert key in inner
+        assert recorder.branches
+
+    def test_get_with_default(self):
+        table, recorder = self.make({MAC_A: 1})
+        key = SymBytes(MAC_B, Var("dst", 48), recorder)
+        assert table.get(key, "fallback") == "fallback"
+        assert table.get(MAC_A) == 1
+
+    def test_plain_key_operations_record_nothing(self):
+        table, recorder = self.make({"a": 1})
+        assert "a" in table
+        assert table["a"] == 1
+        assert len(recorder.branches) == 0
+
+    def test_len_iter_items(self):
+        table, _ = self.make({"a": 1, "b": 2})
+        assert len(table) == 2
+        assert sorted(table) == ["a", "b"]
+        assert dict(table.items())["b"] == 2
+
+
+class TestSolver:
+    def test_simple_equality(self):
+        solver = Solver({"x": Domain("x", [1, 2, 3])})
+        solution = solver.solve([Cmp("eq", Var("x"), Const(2))])
+        assert solution == {"x": 2}
+
+    def test_unsat_returns_none(self):
+        solver = Solver({"x": Domain("x", [1, 2, 3])})
+        assert solver.solve([Cmp("eq", Var("x"), Const(9))]) is None
+
+    def test_multi_variable_joint_constraints(self):
+        solver = Solver({"x": Domain("x", [1, 2]), "y": Domain("y", [1, 2])})
+        solution = solver.solve([
+            Cmp("ne", Var("x"), Var("y")),
+            Cmp("lt", Var("x"), Var("y")),
+        ])
+        assert solution == {"x": 1, "y": 2}
+
+    def test_defaults_fill_unconstrained(self):
+        solver = Solver({"x": Domain("x", [1]), "y": Domain("y", [5, 6])})
+        solution = solver.solve([Cmp("eq", Var("y"), Const(6))],
+                                defaults={"x": 1, "z": 9})
+        assert solution["y"] == 6
+        assert solution["x"] == 1
+        assert solution["z"] == 9
+
+    def test_missing_domain_raises(self):
+        solver = Solver({})
+        with pytest.raises(SolverError):
+            solver.solve([Cmp("eq", Var("ghost"), Const(1))])
+
+    def test_budget_exceeded(self):
+        domains = {f"v{i}": Domain(f"v{i}", list(range(10)))
+                   for i in range(8)}
+        solver = Solver(domains, max_checks=10)
+        constraints = [Cmp("eq", Var(f"v{i}"), Const(9)) for i in range(8)]
+        with pytest.raises(SolverError):
+            solver.solve(constraints)
+
+    def test_is_satisfiable(self):
+        solver = Solver({"x": Domain("x", [0, 1])})
+        assert solver.is_satisfiable([InSet(Var("x"), [1])])
+        assert not solver.is_satisfiable([InSet(Var("x"), [5])])
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=6, unique=True),
+           st.integers(0, 20))
+    def test_solutions_always_satisfy(self, candidates, target):
+        solver = Solver({"x": Domain("x", candidates)})
+        constraint = Cmp("ge", Var("x"), Const(target))
+        solution = solver.solve([constraint])
+        if solution is None:
+            assert all(c < target for c in candidates)
+        else:
+            assert eval_bool(constraint, solution)
+
+    def test_stats_candidates_cover_thresholds(self):
+        # util = x * 100 // 10000 > 70 must be satisfiable from derived
+        # candidates alone.
+        from repro.sym.expr import BinOp
+
+        constraint = Cmp(
+            "gt",
+            BinOp("floordiv", BinOp("mul", Var("x"), Const(100)),
+                  Const(10000)),
+            Const(70),
+        )
+        candidates = stats_candidates([constraint])
+        solver = Solver({"x": Domain("x", candidates)})
+        solution = solver.solve([constraint])
+        assert solution is not None
+        assert solution["x"] * 100 // 10000 > 70
+
+    def test_domain_rejects_empty(self):
+        with pytest.raises(SolverError):
+            Domain("x", [])
+
+    def test_domain_deduplicates_preserving_order(self):
+        domain = Domain("x", [3, 1, 3, 2, 1])
+        assert domain.candidates == [3, 1, 2]

@@ -1,0 +1,133 @@
+"""Tests for the concolic engine's discovery entry points."""
+
+from repro.apps.pyswitch import PySwitch
+from repro.openflow.packet import MacAddress
+from repro.sym.engine import ConcolicEngine
+from repro.topo.topology import Topology
+
+MAC_A = MacAddress.from_string("00:00:00:00:00:01")
+MAC_B = MacAddress.from_string("00:00:00:00:00:02")
+
+
+def make_topo():
+    topo = Topology()
+    topo.add_switch("s1", [1, 2])
+    topo.add_host("A", MAC_A, "10.0.0.1", "s1", 1)
+    topo.add_host("B", MAC_B, "10.0.0.2", "s1", 2)
+    return topo
+
+
+def make_host(topo):
+    from repro.hosts.client import Client
+
+    return Client("A", MAC_A, topo.hosts["A"].ip)
+
+
+def booted_pyswitch():
+    app = PySwitch()
+    app.switch_join(None, "s1", {})
+    return app
+
+
+class TestDiscoverPackets:
+    def test_empty_mactable_two_classes(self):
+        # From an empty MAC table only two handler paths are reachable for
+        # a fixed (unicast) source: broadcast destination -> flood, and
+        # unknown unicast destination -> flood.  (The install path needs a
+        # learned destination.)
+        topo = make_topo()
+        app = booted_pyswitch()
+        engine = ConcolicEngine()
+        packets = engine.discover_packets(app, "s1", 1, topo, make_host(topo))
+        destinations = {pkt.eth_dst.canonical() for pkt in packets}
+        assert len(packets) == 2
+        assert "ff:ff:ff:ff:ff:ff" in destinations
+
+    def test_learned_destination_enables_install_path(self):
+        # Figure 4's point: with B learned, a third class appears — the
+        # packet that triggers the rule-install path.
+        topo = make_topo()
+        app = booted_pyswitch()
+        app.ctrl_state["s1"][MAC_B] = 2
+        engine = ConcolicEngine()
+        packets = engine.discover_packets(app, "s1", 1, topo, make_host(topo))
+        destinations = [pkt.eth_dst.canonical() for pkt in packets]
+        assert len(packets) == 3
+        assert MAC_B.canonical() in destinations
+
+    def test_discovery_does_not_mutate_app(self):
+        topo = make_topo()
+        app = booted_pyswitch()
+        before = dict(app.ctrl_state["s1"])
+        ConcolicEngine().discover_packets(app, "s1", 1, topo, make_host(topo))
+        assert app.ctrl_state["s1"] == before
+
+    def test_deterministic(self):
+        topo = make_topo()
+        app = booted_pyswitch()
+        host = make_host(topo)
+        first = ConcolicEngine().discover_packets(app, "s1", 1, topo, host)
+        second = ConcolicEngine().discover_packets(app, "s1", 1, topo, host)
+        assert [p.header_tuple() for p in first] == \
+            [p.header_tuple() for p in second]
+
+    def test_source_pinned_to_host(self):
+        topo = make_topo()
+        app = booted_pyswitch()
+        packets = ConcolicEngine().discover_packets(
+            app, "s1", 1, topo, make_host(topo))
+        assert all(p.eth_src == MAC_A for p in packets)
+
+    def test_max_paths_bounds_runs(self):
+        topo = make_topo()
+        app = booted_pyswitch()
+        app.ctrl_state["s1"][MAC_B] = 2
+        engine = ConcolicEngine(max_paths=1)
+        packets = engine.discover_packets(app, "s1", 1, topo, make_host(topo))
+        assert len(packets) == 1
+        assert engine.handler_runs == 1
+
+    def test_crashing_handler_still_yields_paths(self):
+        class CrashyApp(PySwitch):
+            def packet_in(self, api, sw_id, inport, pkt, bufid, reason):
+                if pkt.dst[0] & 1:
+                    raise RuntimeError("boom on broadcast")
+                super().packet_in(api, sw_id, inport, pkt, bufid, reason)
+
+        topo = make_topo()
+        app = CrashyApp()
+        app.switch_join(None, "s1", {})
+        packets = ConcolicEngine().discover_packets(
+            app, "s1", 1, topo, make_topo() and make_host(topo))
+        assert len(packets) >= 2  # the crash path is still a path
+
+
+class TestDiscoverStats:
+    def test_threshold_paths_discovered(self):
+        from repro.apps.energy_te import EnergyTrafficEngineering
+
+        app = EnergyTrafficEngineering(
+            ingress="s1", monitor_port=2,
+            always_on={1: [("s1", 2)]}, on_demand={1: [("s1", 3)]})
+        base = {2: {"rx_packets": 0, "tx_packets": 0,
+                    "rx_bytes": 0, "tx_bytes": 0}}
+        variants = ConcolicEngine().discover_stats(app, "s1", base)
+        # One representative per handler path: below and above the
+        # utilization threshold.
+        states = set()
+        for stats in variants:
+            util = stats[2]["tx_bytes"] * 100 // 10000
+            states.add(util > 70)
+        assert states == {True, False}
+
+    def test_stats_handler_without_branches_single_class(self):
+        from repro.controller.app import App
+
+        class Oblivious(App):
+            def port_stats_in(self, api, sw_id, stats, xid=0):
+                self.seen = True
+
+        base = {1: {"rx_packets": 0, "tx_packets": 0,
+                    "rx_bytes": 0, "tx_bytes": 0}}
+        variants = ConcolicEngine().discover_stats(Oblivious(), "s1", base)
+        assert len(variants) == 1

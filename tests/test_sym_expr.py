@@ -1,0 +1,148 @@
+"""Unit and property-based tests for the constraint expression language."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SymbolicError
+from repro.sym.expr import (
+    BinOp,
+    BoolConst,
+    ByteAt,
+    Cmp,
+    Const,
+    InSet,
+    Not,
+    Var,
+    eval_bool,
+    eval_expr,
+    expr_constants,
+    expr_vars,
+    negate,
+)
+
+X = Var("x")
+Y = Var("y")
+
+
+class TestEvaluation:
+    def test_const_and_var(self):
+        assert eval_expr(Const(5), {}) == 5
+        assert eval_expr(X, {"x": 9}) == 9
+
+    def test_unassigned_var_raises(self):
+        with pytest.raises(SymbolicError):
+            eval_expr(X, {})
+
+    def test_binops(self):
+        env = {"x": 12, "y": 5}
+        assert eval_expr(BinOp("add", X, Y), env) == 17
+        assert eval_expr(BinOp("sub", X, Y), env) == 7
+        assert eval_expr(BinOp("mul", X, Y), env) == 60
+        assert eval_expr(BinOp("floordiv", X, Y), env) == 2
+        assert eval_expr(BinOp("mod", X, Y), env) == 2
+        assert eval_expr(BinOp("and", X, Y), env) == 4
+        assert eval_expr(BinOp("or", X, Y), env) == 13
+        assert eval_expr(BinOp("xor", X, Y), env) == 9
+        assert eval_expr(BinOp("lshift", X, Const(2)), env) == 48
+        assert eval_expr(BinOp("rshift", X, Const(2)), env) == 3
+
+    def test_division_by_zero(self):
+        with pytest.raises(SymbolicError):
+            eval_expr(BinOp("floordiv", X, Const(0)), {"x": 1})
+
+    def test_byte_extraction(self):
+        mac = 0x0A0B0C0D0E0F
+        env = {"m": mac}
+        base = Var("m", 48)
+        assert eval_expr(ByteAt(base, 0, 6), env) == 0x0A
+        assert eval_expr(ByteAt(base, 5, 6), env) == 0x0F
+
+    def test_comparisons(self):
+        env = {"x": 3, "y": 7}
+        assert eval_bool(Cmp("lt", X, Y), env)
+        assert not eval_bool(Cmp("ge", X, Y), env)
+        assert eval_bool(Cmp("ne", X, Y), env)
+
+    def test_inset(self):
+        assert eval_bool(InSet(X, [1, 2, 3]), {"x": 2})
+        assert not eval_bool(InSet(X, [1, 2, 3]), {"x": 9})
+
+    def test_not_and_bool_const(self):
+        assert eval_bool(Not(BoolConst(False)), {})
+        assert not eval_bool(BoolConst(False), {})
+
+    def test_eval_bool_on_int_expr_raises(self):
+        with pytest.raises(SymbolicError):
+            eval_bool(X, {"x": 1})
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(SymbolicError):
+            BinOp("pow", X, Y)
+        with pytest.raises(SymbolicError):
+            Cmp("spaceship", X, Y)
+
+
+class TestNegation:
+    @given(st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]),
+           st.integers(-50, 50), st.integers(-50, 50))
+    def test_cmp_negation_flips_truth(self, op, a, b):
+        expr = Cmp(op, X, Y)
+        env = {"x": a, "y": b}
+        assert eval_bool(negate(expr), env) == (not eval_bool(expr, env))
+
+    @given(st.integers(0, 10), st.lists(st.integers(0, 10), min_size=1))
+    def test_inset_negation(self, value, values):
+        expr = InSet(X, values)
+        env = {"x": value}
+        assert eval_bool(negate(expr), env) == (not eval_bool(expr, env))
+
+    def test_double_negation_simplifies(self):
+        expr = InSet(X, [1])
+        assert negate(negate(expr)) == expr
+
+
+class TestStructure:
+    def test_expressions_are_hashable_values(self):
+        a = Cmp("eq", BinOp("and", X, Const(1)), Const(0))
+        b = Cmp("eq", BinOp("and", Var("x"), Const(1)), Const(0))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Cmp("eq", X, Const(0))
+
+    def test_expr_vars(self):
+        expr = Cmp("eq", BinOp("add", X, Y), ByteAt(Var("m"), 1, 6))
+        assert expr_vars(expr) == {"x", "y", "m"}
+        assert expr_vars(Not(InSet(X, [1]))) == {"x"}
+
+    def test_expr_constants(self):
+        expr = Cmp("gt", BinOp("mul", X, Const(100)), Const(70))
+        assert expr_constants(expr) == {100, 70}
+        assert expr_constants(InSet(X, [4, 5])) == {4, 5}
+
+
+class TestRoundtripWithProxies:
+    """The proxy layer must produce expressions whose evaluation matches
+    the concrete arithmetic it mirrored — the core concolic soundness
+    invariant."""
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+           st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]))
+    def test_symint_op_matches_evaluator(self, a, b, op):
+        from repro.sym.concolic import PathRecorder, SymInt
+
+        recorder = PathRecorder()
+        sym = SymInt(a, Var("x"), recorder)
+        method = {"add": "__add__", "sub": "__sub__", "mul": "__mul__",
+                  "and": "__and__", "or": "__or__", "xor": "__xor__"}[op]
+        result = getattr(sym, method)(b)
+        assert result.concrete == eval_expr(result.expr, {"x": a})
+
+    @given(st.integers(0, (1 << 48) - 1), st.integers(0, 5))
+    def test_symbytes_byte_access_matches(self, mac_int, index):
+        from repro.openflow.packet import MacAddress
+        from repro.sym.concolic import PathRecorder, SymBytes
+
+        recorder = PathRecorder()
+        sym = SymBytes(MacAddress.from_int(mac_int), Var("m", 48), recorder)
+        byte = sym[index]
+        assert byte.concrete == eval_expr(byte.expr, {"m": mac_int})

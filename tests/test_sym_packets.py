@@ -1,0 +1,117 @@
+"""Tests for symbolic packet construction and domain knowledge."""
+
+from repro.openflow.packet import (
+    ETH_TYPE_ARP,
+    ETH_TYPE_IP,
+    MacAddress,
+    TCP_SYN,
+)
+from repro.sym.concolic import PathRecorder, SymBytes, SymInt
+from repro.sym.packets import (
+    FRESH_IP,
+    FRESH_MAC,
+    PACKET_FIELDS,
+    SymbolicPacketFactory,
+)
+from repro.topo.topology import Topology
+
+MAC_A = MacAddress.from_string("00:00:00:00:00:01")
+MAC_B = MacAddress.from_string("00:00:00:00:00:02")
+
+
+def make_factory(app=None):
+    topo = Topology()
+    topo.add_switch("s1", [1, 2])
+    topo.add_host("A", MAC_A, "10.0.0.1", "s1", 1)
+    topo.add_host("B", MAC_B, "10.0.0.2", "s1", 2)
+    from repro.hosts.client import Client
+
+    host = Client("A", MAC_A, topo.hosts["A"].ip)
+    return SymbolicPacketFactory(topo, host, app)
+
+
+class TestDomains:
+    def test_source_fields_pinned_to_sender(self):
+        domains = make_factory().domains()
+        assert domains["eth_src"].candidates == [MAC_A.to_int()]
+        assert domains["ip_src"].candidates == [0x0A000001]
+
+    def test_destination_includes_topology_broadcast_and_fresh(self):
+        domains = make_factory().domains()
+        dst = domains["eth_dst"].candidates
+        assert MAC_B.to_int() in dst
+        assert MacAddress.broadcast().to_int() in dst
+        assert FRESH_MAC in dst
+        assert MAC_A.to_int() not in dst   # own address excluded
+
+    def test_ip_dst_includes_fresh(self):
+        domains = make_factory().domains()
+        assert FRESH_IP in domains["ip_dst"].candidates
+
+    def test_app_hook_extends_domains(self):
+        class AppWithDomains:
+            def symbolic_domains(self):
+                return {"ip_dst": [0x0A0000FF], "tp_dst": [8080]}
+
+        domains = make_factory(AppWithDomains()).domains()
+        assert 0x0A0000FF in domains["ip_dst"].candidates
+        assert 8080 in domains["tp_dst"].candidates
+
+    def test_all_declared_fields_have_domains(self):
+        domains = make_factory().domains()
+        assert {name for name, _w in PACKET_FIELDS} == set(domains)
+
+
+class TestSymbolicPacket:
+    def test_fields_are_proxies(self):
+        factory = make_factory()
+        packet = factory.make(PathRecorder(), factory.default_assignment())
+        assert isinstance(packet.eth_src, SymBytes)
+        assert isinstance(packet.eth_dst, SymBytes)
+        assert isinstance(packet.eth_type, SymInt)
+        assert isinstance(packet.tcp_flags, SymInt)
+
+    def test_proxy_values_follow_assignment(self):
+        factory = make_factory()
+        assignment = factory.default_assignment()
+        assignment["eth_dst"] = MacAddress.broadcast().to_int()
+        assignment["tcp_flags"] = TCP_SYN
+        packet = factory.make(PathRecorder(), assignment)
+        assert packet.eth_dst.concrete == MacAddress.broadcast()
+        assert packet.tcp_flags.concrete == TCP_SYN
+
+    def test_aliases_work_on_symbolic_packet(self):
+        # Figure 3's pkt.src / pkt.dst / pkt.type must resolve on proxies.
+        factory = make_factory()
+        packet = factory.make(PathRecorder(), factory.default_assignment())
+        assert packet.src is packet.eth_src
+        assert packet.dst is packet.eth_dst
+        assert packet.type is packet.eth_type
+
+
+class TestRepresentatives:
+    def test_default_assignment_round_trips(self):
+        factory = make_factory()
+        packet = factory.packet_from_assignment(factory.default_assignment())
+        assert packet.eth_src == MAC_A
+
+    def test_unconstrained_fields_zeroed(self):
+        factory = make_factory()
+        assignment = factory.default_assignment()
+        assignment["eth_type"] = ETH_TYPE_ARP
+        packet = factory.packet_from_assignment(
+            assignment, constrained={"eth_type"})
+        assert packet.eth_type == ETH_TYPE_ARP
+        assert packet.tcp_flags == 0      # don't-care zeroed
+        assert packet.nw_proto == 0
+        assert packet.eth_src == MAC_A    # pinned field kept
+
+    def test_constrained_fields_preserved(self):
+        factory = make_factory()
+        assignment = factory.default_assignment()
+        assignment["tcp_flags"] = TCP_SYN
+        packet = factory.packet_from_assignment(
+            assignment, constrained={"eth_type", "tcp_flags", "ip_dst",
+                                     "nw_proto"})
+        assert packet.tcp_flags == TCP_SYN
+        assert packet.eth_type == ETH_TYPE_IP

@@ -1,0 +1,137 @@
+"""Unit tests for topologies and spanning-tree flooding."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.openflow.packet import MacAddress
+from repro.topo.spanning_tree import spanning_tree_links, spanning_tree_ports
+from repro.topo.topology import Endpoint, Topology
+
+
+def line_topology():
+    topo = Topology()
+    topo.add_switch("s1", [1, 2])
+    topo.add_switch("s2", [1, 2])
+    topo.add_link("s1", 2, "s2", 1)
+    topo.add_host("A", "00:00:00:00:00:01", "10.0.0.1", "s1", 1)
+    topo.add_host("B", "00:00:00:00:00:02", "10.0.0.2", "s2", 2)
+    return topo
+
+
+def triangle_topology():
+    topo = Topology()
+    for name in ("s1", "s2", "s3"):
+        topo.add_switch(name, [1, 2, 3])
+    topo.add_link("s1", 2, "s2", 1)
+    topo.add_link("s2", 2, "s3", 1)
+    topo.add_link("s3", 2, "s1", 3)
+    topo.add_host("A", "00:00:00:00:00:01", "10.0.0.1", "s1", 1)
+    return topo
+
+
+class TestConstruction:
+    def test_endpoint_queries(self):
+        topo = line_topology()
+        ep = topo.endpoint("s1", 2)
+        assert ep.kind == Endpoint.KIND_SWITCH
+        assert (ep.node, ep.port) == ("s2", 1)
+        assert topo.endpoint("s2", 1) == Endpoint(Endpoint.KIND_SWITCH, "s1", 2)
+        host_ep = topo.endpoint("s1", 1)
+        assert host_ep.kind == Endpoint.KIND_HOST
+        assert host_ep.node == "A"
+
+    def test_host_location(self):
+        topo = line_topology()
+        assert topo.host_location("B") == ("s2", 2)
+
+    def test_duplicate_switch_rejected(self):
+        topo = Topology()
+        topo.add_switch("s1", [1])
+        with pytest.raises(TopologyError):
+            topo.add_switch("s1", [1])
+
+    def test_unknown_port_rejected(self):
+        topo = Topology()
+        topo.add_switch("s1", [1])
+        with pytest.raises(TopologyError):
+            topo.add_host("A", "00:00:00:00:00:01", "10.0.0.1", "s1", 9)
+
+    def test_port_conflict_rejected(self):
+        topo = line_topology()
+        with pytest.raises(TopologyError):
+            topo.add_host("C", "00:00:00:00:00:03", "10.0.0.3", "s1", 2)
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        topo.add_switch("s1", [1, 2])
+        with pytest.raises(TopologyError):
+            topo.add_link("s1", 1, "s1", 2)
+
+    def test_duplicate_mac_detected_by_validate(self):
+        topo = Topology()
+        topo.add_switch("s1", [1, 2])
+        topo.add_host("A", "00:00:00:00:00:01", "10.0.0.1", "s1", 1)
+        topo.add_host("B", "00:00:00:00:00:01", "10.0.0.2", "s1", 2)
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_string_addresses_are_parsed(self):
+        topo = line_topology()
+        assert topo.hosts["A"].mac == MacAddress.from_string("00:00:00:00:00:01")
+        assert topo.hosts["A"].ip == 0x0A000001
+
+
+class TestQueries:
+    def test_switch_links_deduplicated(self):
+        topo = triangle_topology()
+        links = topo.switch_links()
+        assert len(links) == 3
+
+    def test_switch_graph(self):
+        graph = triangle_topology().switch_graph()
+        assert graph["s1"] == {"s2", "s3"}
+
+    def test_domain_knowledge_sets(self):
+        topo = line_topology()
+        assert len(topo.mac_addresses()) == 2
+        assert len(topo.ip_addresses()) == 2
+
+    def test_host_by_mac(self):
+        topo = line_topology()
+        found = topo.host_by_mac(MacAddress.from_string("00:00:00:00:00:02"))
+        assert found.name == "B"
+        assert topo.host_by_mac(MacAddress.broadcast()) is None
+
+
+class TestSpanningTree:
+    def test_triangle_drops_one_link(self):
+        topo = triangle_topology()
+        kept = spanning_tree_links(topo)
+        assert len(kept) == 2  # 3 switches, tree has 2 edges
+
+    def test_flood_ports_exclude_cut_link(self):
+        topo = triangle_topology()
+        ports = spanning_tree_ports(topo)
+        total_link_ports = sum(
+            1 for sw in ports
+            for p in ports[sw]
+            if topo.endpoint(sw, p) is not None
+            and topo.endpoint(sw, p).kind == Endpoint.KIND_SWITCH
+        )
+        assert total_link_ports == 4  # 2 tree edges x 2 ends
+
+    def test_host_and_loose_ports_always_floodable(self):
+        topo = triangle_topology()
+        ports = spanning_tree_ports(topo)
+        assert 1 in ports["s1"]   # host port
+        assert 3 in ports["s2"]   # loose port
+
+    def test_line_topology_keeps_all(self):
+        topo = line_topology()
+        ports = spanning_tree_ports(topo)
+        assert ports["s1"] == {1, 2}
+        assert ports["s2"] == {1, 2}
+
+    def test_deterministic(self):
+        assert (spanning_tree_ports(triangle_topology())
+                == spanning_tree_ports(triangle_topology()))
