@@ -1,0 +1,8 @@
+"""Benchmark suites reproducing the paper's measurement tables.
+
+A real package so that pytest's package-relative imports
+(``from .conftest import print_table``) resolve when collecting from the
+repo root.  Every test in here carries the ``benchmark`` marker (applied in
+``conftest.py``); run them explicitly with ``pytest -m benchmark`` or
+``pytest benchmarks``.
+"""

@@ -7,8 +7,24 @@ paper reports.
 """
 
 import os
+import pathlib
 
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Every test under benchmarks/ is a measurement: tag it ``benchmark``
+    (and ``slow``) so the CI fast tier can deselect the whole directory."""
+    for item in items:
+        try:
+            in_benchmarks = item.path.is_relative_to(_BENCH_DIR)
+        except AttributeError:  # items without a path
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.benchmark)
+            item.add_marker(pytest.mark.slow)
 
 
 def large_runs_enabled() -> bool:

@@ -1,0 +1,86 @@
+"""Cheap checkpointing and the parallel engine on Table-1-style workloads.
+
+The seed searcher checkpointed every frontier state with ``copy.deepcopy``
+and re-canonicalized the full state on every hash.  This suite measures the
+replacement engine (component-wise fast clones + memoized hashing,
+DESIGN.md "Cheap checkpointing") against a seed-equivalent configuration
+(``fast_clone=False, hash_memoization=False``) on the layer-2 ping workload
+of Table 1, asserting the >= 2x wall-clock speedup the optimization is
+meant to deliver, and reports the parallel engine's numbers alongside.
+
+On single-core runners (CI containers) ``workers=4`` cannot beat serial —
+restoration work is extra CPU with no extra CPU to run it on — so the
+parallel row asserts state-space equality and reports timing; the speedup
+assertion is gated on available cores.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro import nice, scenarios
+from repro.scenarios import with_config
+
+from .conftest import large_runs_enabled, print_table
+
+#: Ping count for the measured workload: row 1 of Table 1 by default, row 2
+#: when NICE_BENCH_LARGE=1.
+PINGS = 3 if large_runs_enabled() else 2
+
+
+@pytest.fixture(scope="module")
+def engine_results():
+    scenario = scenarios.ping_experiment(pings=PINGS)
+    seed = nice.run(with_config(scenario, fast_clone=False,
+                                hash_memoization=False))
+    fast = nice.run(with_config(scenario))
+    rows = {"seed": seed, "fast": fast}
+    if "fork" in multiprocessing.get_all_start_methods():
+        rows["workers4"] = nice.run(with_config(scenario, workers=4))
+    return rows
+
+
+def test_checkpointing_report(engine_results):
+    rows = []
+    baseline = engine_results["seed"].wall_time
+    for label, result in engine_results.items():
+        rows.append([
+            label,
+            f"{result.transitions_executed} / {result.unique_states}",
+            f"{result.wall_time:.2f}s",
+            f"{baseline / result.wall_time:.2f}x",
+        ])
+    print_table(
+        f"Checkpointing engines on the {PINGS}-ping workload (Table 1 row)",
+        ["engine", "transitions / unique", "time", "vs seed"],
+        rows,
+    )
+
+
+def test_fast_engine_at_least_2x_over_seed(engine_results):
+    seed, fast = engine_results["seed"], engine_results["fast"]
+    assert fast.unique_states == seed.unique_states
+    assert fast.transitions_executed == seed.transitions_executed
+    speedup = seed.wall_time / fast.wall_time
+    assert speedup >= 2.0, f"only {speedup:.2f}x over the seed searcher"
+
+
+def test_parallel_explores_identical_space(engine_results):
+    if "workers4" not in engine_results:
+        pytest.skip("fork start method unavailable")
+    serial, parallel = engine_results["fast"], engine_results["workers4"]
+    assert parallel.unique_states == serial.unique_states
+    assert parallel.transitions_executed == serial.transitions_executed
+    assert parallel.quiescent_states == serial.quiescent_states
+
+
+def test_parallel_speedup_with_real_cores(engine_results):
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    if "workers4" not in engine_results or cores < 4:
+        pytest.skip(f"needs >= 4 cores (have {cores})")
+    serial, parallel = engine_results["fast"], engine_results["workers4"]
+    assert parallel.wall_time < serial.wall_time

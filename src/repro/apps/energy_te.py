@@ -33,6 +33,8 @@ Reproduced bugs:
 
 from __future__ import annotations
 
+import copy
+
 from repro.controller.app import App
 from repro.openflow.actions import ActionOutput
 from repro.openflow.match import Match
@@ -138,6 +140,13 @@ class EnergyTrafficEngineering(App):
         if self.flows_routed % 2 == 0:
             return TABLE_ALWAYS_ON
         return TABLE_ON_DEMAND
+
+    def clone(self):
+        """Fast checkpoint copy: scalars plus the flow->table map; the
+        routing tables themselves are static configuration, shared."""
+        new = copy.copy(self)
+        new.flow_tables = dict(self.flow_tables)
+        return new
 
     def packet_in(self, api, sw_id, inport, pkt, bufid, reason):
         if pkt.type != ETH_TYPE_IP:

@@ -32,6 +32,8 @@ can reproduce the paper's fix-one-find-next narrative;
 
 from __future__ import annotations
 
+import copy
+
 from repro.controller.app import App
 from repro.hosts.base import Host
 from repro.openflow.actions import ActionController, ActionOutput
@@ -136,6 +138,13 @@ class LoadBalancer(App):
     # ------------------------------------------------------------------
     # Setup and reconfiguration
     # ------------------------------------------------------------------
+
+    def clone(self):
+        """Fast checkpoint copy: scalars plus the flow-assignment map; the
+        replica specs are static configuration and stay shared."""
+        new = copy.copy(self)
+        new.flow_assignments = dict(self.flow_assignments)
+        return new
 
     def boot(self, api, topo):
         self._install_policy_rules(api, self.current_policy)

@@ -20,6 +20,8 @@ This is the application in which NICE uncovers:
 
 from __future__ import annotations
 
+import copy
+
 from repro.controller.app import App
 from repro.controller.api import OUTPUT
 from repro.openflow.match import DL_DST, DL_SRC, DL_TYPE, IN_PORT
@@ -36,6 +38,13 @@ class PySwitch(App):
         self.ctrl_state: dict = {}
         self.soft_timer = soft_timer
         self.hard_timer = hard_timer
+
+    def clone(self):
+        """Fast checkpoint copy: the state is one dict of MAC tables."""
+        new = copy.copy(self)
+        new.ctrl_state = {sw: dict(table)
+                          for sw, table in self.ctrl_state.items()}
+        return new
 
     def switch_join(self, api, sw_id, stats):  # Figure 3, lines 17-19
         if sw_id not in self.ctrl_state:

@@ -65,6 +65,9 @@ class JpfSystem(System):
             return
         if transition.kind == tk.CTRL_HANDLE:
             switch = self._switch(transition.actor)
+            # The buffering API bypasses the stamping wrapper, so invalidate
+            # the handled switch and controller state explicitly.
+            self._dirty(("sw", transition.actor), "app", "ctrl")
             ops: list = []
             self.runtime.handle_message(_BufferingAPI(ops), switch)
             self.pending_ops.extend(ops)

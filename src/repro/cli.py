@@ -21,7 +21,7 @@ import json
 import sys
 
 from repro import nice, scenarios
-from repro.config import ALL_STRATEGIES, NiceConfig
+from repro.config import ALL_CHECKPOINT_MODES, ALL_STRATEGIES, NiceConfig
 from repro.mc.replay import format_trace
 
 #: Scenario name -> builder (keyword arguments forwarded where sensible).
@@ -55,6 +55,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the canonical switch representation "
                             "(NO-SWITCH-REDUCTION)")
     run_p.add_argument("--no-state-matching", action="store_true")
+    run_p.add_argument("--workers", type=int, default=0,
+                       help="search worker processes (0/1 = serial)")
+    run_p.add_argument("--checkpoint-mode", choices=ALL_CHECKPOINT_MODES,
+                       default="deepcopy",
+                       help="frontier checkpointing: full deep copies or "
+                            "trace-replay restoration")
+    run_p.add_argument("--no-hash-memoization", action="store_true",
+                       help="recanonicalize the full state on every hash "
+                            "(the seed behavior)")
+    run_p.add_argument("--no-fast-clone", action="store_true",
+                       help="checkpoint with full deepcopy instead of "
+                            "component-wise copies (the seed behavior)")
     run_p.add_argument("--all-violations", action="store_true",
                        help="keep searching after the first violation")
     run_p.add_argument("--trace", action="store_true",
@@ -80,6 +92,10 @@ def make_config(args) -> NiceConfig:
         state_matching=not args.no_state_matching,
         max_transitions=args.max_transitions,
         stop_at_first_violation=not args.all_violations,
+        workers=args.workers,
+        checkpoint_mode=args.checkpoint_mode,
+        hash_memoization=not args.no_hash_memoization,
+        fast_clone=not args.no_fast_clone,
     )
 
 

@@ -30,6 +30,16 @@ ORDER_DFS = "dfs"
 ORDER_BFS = "bfs"
 ORDER_RANDOM = "random"
 
+#: Checkpoint modes for the search frontier (DESIGN.md, "Search engine").
+#: ``deepcopy`` keeps a full System copy per frontier entry (the seed
+#: behavior); ``trace`` stores only the transition path and restores by
+#: deterministic replay from the initial state — cheap enough to ship
+#: between worker processes.
+CHECKPOINT_DEEPCOPY = "deepcopy"
+CHECKPOINT_TRACE = "trace"
+
+ALL_CHECKPOINT_MODES = (CHECKPOINT_DEEPCOPY, CHECKPOINT_TRACE)
+
 
 @dataclass
 class NiceConfig:
@@ -63,6 +73,21 @@ class NiceConfig:
     * ``channel_faults`` — enable the optional drop/duplicate/reorder fault
       model on packet channels (off by default, as in the paper's
       NoBlackHoles experiments).
+    * ``workers`` — size of the search worker pool.  ``0`` (the default)
+      and ``1`` run the serial searcher; ``N > 1`` shards the frontier
+      across N processes with a shared explored-state set (DESIGN.md).
+    * ``checkpoint_mode`` — how frontier states are stored:
+      :data:`CHECKPOINT_DEEPCOPY` (seed behavior) or
+      :data:`CHECKPOINT_TRACE` (trace-replay restoration, Section 6).
+      The parallel engine always restores by trace replay.
+    * ``hash_memoization`` — reuse cached per-component canonical forms when
+      hashing a state; components invalidate on mutation, so unchanged
+      switches/hosts are not re-canonicalized on every expansion.  Disable
+      to reproduce the seed's full re-hash per state.
+    * ``fast_clone`` — hand-rolled component-wise checkpoint copies
+      (DESIGN.md, "Cheap checkpointing").  Disable to fall back to the
+      seed's ``copy.deepcopy`` checkpointing — the baseline the
+      checkpointing benchmark compares against.
     * ``seed`` — seed for the random-walk frontier.
     """
 
@@ -86,6 +111,10 @@ class NiceConfig:
     #: aware traffic-engineering app), where merging across counter values
     #: would be unsound.
     hash_counters: bool = False
+    workers: int = 0
+    checkpoint_mode: str = CHECKPOINT_DEEPCOPY
+    hash_memoization: bool = True
+    fast_clone: bool = True
     seed: int = 0
     extra: dict = field(default_factory=dict)
 
@@ -102,3 +131,10 @@ class NiceConfig:
             raise ValueError("max_outstanding must be >= 1")
         if self.max_paths < 1:
             raise ValueError("max_paths must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.checkpoint_mode not in ALL_CHECKPOINT_MODES:
+            raise ValueError(
+                f"unknown checkpoint mode {self.checkpoint_mode!r};"
+                f" expected one of {ALL_CHECKPOINT_MODES}"
+            )

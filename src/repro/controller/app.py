@@ -13,6 +13,8 @@ and hashing never see channel references).
 
 from __future__ import annotations
 
+import copy
+
 
 class App:
     """Subclass and override the handlers your application needs."""
@@ -61,3 +63,13 @@ class App:
     def state_vars(self) -> dict:
         """The controller state to serialize; defaults to all attributes."""
         return dict(vars(self))
+
+    def clone(self) -> "App":
+        """Checkpoint copy of the controller state (``System.clone``).
+
+        The default deep-copies the instance — always safe for arbitrary
+        user applications.  The bundled apps override it with hand-rolled
+        copies; override it in your app too if cloning shows up in search
+        profiles.
+        """
+        return copy.deepcopy(self)

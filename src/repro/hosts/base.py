@@ -20,6 +20,8 @@ serialize it.
 
 from __future__ import annotations
 
+import copy
+
 from repro.openflow.packet import MacAddress, Packet
 
 
@@ -51,6 +53,24 @@ class Host:
         #: PKT-SEQ burst counter; the system sets the initial value from
         #: ``NiceConfig.max_outstanding``.
         self.counter_c = 1
+
+    def clone(self, packet_memo: dict) -> "Host":
+        """Checkpoint copy (``System.clone``).
+
+        Shallow-copies the instance — subclasses that only add scalar state
+        (all the bundled ones) inherit this — then replaces the mutable
+        containers.  ``script`` stays shared (templates are copied at send
+        time) and so do the ``received`` packets (immutable history);
+        ``inbox``/``pending`` packets are memo-copied because a send resets
+        the packet's identity fields in place.
+        """
+        new = copy.copy(self)
+        new.inbox = [p.copy_memo(packet_memo) for p in self.inbox]
+        new.pending = [p.copy_memo(packet_memo) for p in self.pending]
+        new.received = list(self.received)
+        new.script_done = set(self.script_done)
+        new.send_sig_counts = dict(self.send_sig_counts)
+        return new
 
     @property
     def script_sent(self) -> int:

@@ -45,3 +45,13 @@ def state_string(obj) -> str:
 def state_hash(obj) -> str:
     """Compact digest of the canonical form, for the explored-state set."""
     return hashlib.md5(state_string(obj).encode()).hexdigest()
+
+
+def hash_canonical(form) -> str:
+    """Digest of an *already canonical* form.
+
+    ``canonicalize`` is idempotent, so for a form it produced this equals
+    ``state_hash(form)`` while skipping the full re-walk of the object tree
+    — the fast path the memoizing :meth:`System.state_hash` relies on.
+    """
+    return hashlib.md5(repr(form).encode()).hexdigest()

@@ -17,16 +17,13 @@ from repro.mc.strategies import Strategy
 from repro.mc.system import System
 
 
-def replay_trace(system_factory, trace, strategy: Strategy | None = None,
-                 expected_hash: str | None = None) -> System:
-    """Re-execute ``trace`` from a fresh initial state.
+def replay_from(system: System, trace, strategy: Strategy | None = None) -> System:
+    """Re-execute ``trace`` on an existing initial-state ``system``, in place.
 
-    ``strategy`` must match the one used during the original search (the
-    NO-DELAY strategy performs extra work after each transition).  When
-    ``expected_hash`` is given, the final state must hash to it or a
-    :class:`~repro.errors.ReplayError` is raised.
+    The workhorse of trace-replay checkpointing (``checkpoint_mode="trace"``
+    and the parallel engine): restoring a frontier node is a clone of the
+    initial state plus a deterministic replay of the node's transition path.
     """
-    system = system_factory()
     strategy = strategy or Strategy()
     for step, transition in enumerate(trace):
         try:
@@ -36,6 +33,19 @@ def replay_trace(system_factory, trace, strategy: Strategy | None = None,
                 f"replay failed at step {step} ({transition!r}): {exc}"
             ) from exc
         strategy.post_execute(system, transition)
+    return system
+
+
+def replay_trace(system_factory, trace, strategy: Strategy | None = None,
+                 expected_hash: str | None = None) -> System:
+    """Re-execute ``trace`` from a fresh initial state.
+
+    ``strategy`` must match the one used during the original search (the
+    NO-DELAY strategy performs extra work after each transition).  When
+    ``expected_hash`` is given, the final state must hash to it or a
+    :class:`~repro.errors.ReplayError` is raised.
+    """
+    system = replay_from(system_factory(), trace, strategy)
     if expected_hash is not None and system.state_hash() != expected_hash:
         raise ReplayError(
             "replayed final state hash does not match the recorded one; "

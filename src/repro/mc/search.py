@@ -16,9 +16,15 @@ self-loop bookkeeping — and the eager form keeps the explored-state set free
 of duplicate entries.  Discovery results are cached by (client, controller
 state hash), exactly the ``client.packets[state(ctrl)]`` map of Figure 5.
 
-Checkpointing uses deep copies by default; a recorded trace (the transition
-path) deterministically replays to the same state, which is how violations
-are reported and reproduced (Section 6).
+Checkpointing is configurable (DESIGN.md, "Search engine"): ``deepcopy``
+keeps a full :class:`~repro.mc.system.System` copy per frontier entry (the
+seed behavior), while ``trace`` stores only the transition path and restores
+a popped node by deterministically replaying it from the initial state — the
+same mechanism the paper uses to reproduce violations (Section 6), and the
+representation cheap enough to ship between the worker processes of
+:class:`~repro.mc.parallel.ParallelSearcher`.  State hashing is memoized per
+component (see ``NiceConfig.hash_memoization``), so expanding a state only
+re-canonicalizes the switches/hosts the transition actually touched.
 """
 
 from __future__ import annotations
@@ -26,9 +32,16 @@ from __future__ import annotations
 import random
 import time
 
-from repro.config import NiceConfig, ORDER_BFS, ORDER_DFS, ORDER_RANDOM
+from repro.config import (
+    CHECKPOINT_TRACE,
+    NiceConfig,
+    ORDER_BFS,
+    ORDER_DFS,
+    ORDER_RANDOM,
+)
 from repro.errors import PropertyViolation, SearchError
 from repro.mc import transitions as tk
+from repro.mc.replay import replay_from
 from repro.mc.strategies import Strategy, make_strategy
 from repro.mc.system import System
 from repro.mc.transitions import Transition
@@ -112,6 +125,9 @@ class Searcher:
         #: discover_stats cache: (switch, ctrl_hash) -> [stats dict].
         self._stats_cache: dict[tuple[str, str], list] = {}
         self._rng = random.Random(config.seed)
+        self._trace_checkpoints = config.checkpoint_mode == CHECKPOINT_TRACE
+        #: Pristine initial state kept for trace-replay restoration.
+        self._initial: System | None = None
 
     # ------------------------------------------------------------------
     # Main loop
@@ -121,6 +137,7 @@ class Searcher:
         result = SearchResult()
         start = time.perf_counter()
         initial = self.system_factory()
+        self._initial = initial
         strategy = self._strategy or make_strategy(self.config, initial.app)
         for prop in self.properties:
             prop.reset(initial)
@@ -131,10 +148,16 @@ class Searcher:
             return result
 
         explored: set[str] = {initial.state_hash()}
-        frontier: list[tuple[System, tuple[Transition, ...]]] = [(initial, ())]
+        # Frontier entries are (system | None, trace): in trace-checkpoint
+        # mode the system slot is None and the node is restored by replay.
+        frontier: list[tuple[System | None, tuple[Transition, ...]]] = [
+            (None if self._trace_checkpoints else initial, ())
+        ]
         try:
             while frontier:
                 system, trace = self._pop(frontier)
+                if system is None:
+                    system = self._restore(trace, strategy)
                 enabled = self._enabled(system, strategy, result)
                 if not enabled:
                     result.quiescent_states += 1
@@ -161,12 +184,20 @@ class Searcher:
                             result.revisited_states += 1
                             continue
                         explored.add(digest)
-                    frontier.append((child, child_trace))
+                    frontier.append(
+                        (None if self._trace_checkpoints else child,
+                         child_trace)
+                    )
         except _StopSearch:
             pass
         result.unique_states = len(explored)
         result.wall_time = time.perf_counter() - start
         return result
+
+    def _restore(self, trace, strategy: Strategy) -> System:
+        """Trace-replay checkpoint restoration (Section 6): clone the initial
+        state and deterministically re-execute the node's transition path."""
+        return replay_from(self._initial.clone(), trace, strategy)
 
     def _pop(self, frontier):
         if self.config.search_order == ORDER_DFS:

@@ -83,7 +83,7 @@ class NoDelayStrategy(Strategy):
         if transition.kind == tk.PROCESS_OF:
             switch = system.switches[transition.actor]
             while switch.can_process_of():
-                system.route(transition.actor, switch.process_of())
+                system.pump_process_of(transition.actor)
         self._handle_pending(system)
 
     @staticmethod
@@ -94,7 +94,7 @@ class NoDelayStrategy(Strategy):
             for sw_id in sorted(system.switches):
                 switch = system.switches[sw_id]
                 while system.runtime.can_handle(switch):
-                    system.runtime.handle_message(system.api(), switch)
+                    system.handle_ctrl_message(switch)
                     progress = True
 
 

@@ -20,7 +20,7 @@ from repro.controller.api import LiveControllerAPI
 from repro.controller.runtime import ControllerRuntime
 from repro.errors import TransitionError
 from repro.mc import transitions as tk
-from repro.mc.canonical import canonicalize, state_hash
+from repro.mc.canonical import canonicalize, hash_canonical, state_hash
 from repro.mc.transitions import Transition
 from repro.openflow.messages import StatsReply
 from repro.openflow.packet import Packet
@@ -68,6 +68,19 @@ class PacketLedger:
     def record_fault(self, op: tuple, switch: str, port: int) -> None:
         self.faults.append((op, switch, port))
         self.log.append(("fault", op, switch, port))
+
+    def clone(self) -> "PacketLedger":
+        """Checkpoint copy: every record is an immutable tuple (and the
+        ``history`` packets are private header copies, never mutated), so
+        shallow list copies suffice."""
+        new = PacketLedger.__new__(PacketLedger)
+        new.injected = list(self.injected)
+        new.delivered = list(self.delivered)
+        new.lost = list(self.lost)
+        new.faults = list(self.faults)
+        new.log = list(self.log)
+        new.history = list(self.history)
+        return new
 
     def canonical(self) -> tuple:
         return (
@@ -122,6 +135,11 @@ class System:
         #: Ephemeral (derived from the last transition) — not hashed.
         self.last_handler: dict | None = None
         self._api_calls: list[tuple] = []
+        #: Memoized per-component canonical forms (DESIGN.md, "Hash
+        #: memoization").  Keys: ``("sw", id)``, ``("host", name)``,
+        #: ``"app"``, ``"ctrl"`` (controller-state digest), ``"ledger"``.
+        #: Every mutation path pops the affected keys via :meth:`_dirty`.
+        self._canon_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Setup
@@ -143,6 +161,7 @@ class System:
         of setup orderings.
         """
         self.runtime.boot(self.api(), self.topo, sorted(self.switches))
+        self._dirty("app", "ctrl")
         self.drain_control_plane()
 
     # ------------------------------------------------------------------
@@ -194,18 +213,21 @@ class System:
         kind = transition.kind
         if kind == tk.PROCESS_PKT:
             switch = self._switch(transition.actor)
+            self._dirty(("sw", transition.actor))
             self.route(transition.actor, switch.process_pkt())
         elif kind == tk.PROCESS_OF:
             switch = self._switch(transition.actor)
+            self._dirty(("sw", transition.actor))
             self.route(transition.actor, switch.process_of())
         elif kind == tk.CTRL_HANDLE:
             switch = self._switch(transition.actor)
             pending = switch.ofp_out.peek() if switch.ofp_out else None
             self._begin_handler("ctrl_handle", transition.actor, pending)
-            self.runtime.handle_message(self.api(), switch)
+            self.handle_ctrl_message(switch)
             self._end_handler()
         elif kind == tk.CTRL_STATS:
             self._begin_handler("ctrl_stats", transition.actor, None)
+            self._dirty(("sw", transition.actor), "app", "ctrl")
             self._execute_ctrl_stats(transition)
             self._end_handler()
         elif kind == tk.CTRL_EVENT:
@@ -213,21 +235,25 @@ class System:
                 raise TransitionError(f"event {transition.actor!r} already fired")
             self.events_fired[transition.actor] = True
             self._begin_handler("ctrl_event", transition.actor, None)
+            self._dirty("app", "ctrl")
             self.app.handle_event(self.api(), transition.actor)
             self._end_handler()
         elif kind == tk.HOST_SEND:
             self._execute_host_send(transition)
         elif kind == tk.HOST_RECV:
             host = self._host(transition.actor)
+            self._dirty(("host", transition.actor), "ledger")
             packet = host.receive()
             self.ledger.record_delivered(packet, transition.actor)
         elif kind == tk.HOST_MOVE:
             self._execute_host_move(transition)
         elif kind == tk.EXPIRE_RULE:
+            self._dirty(("sw", transition.actor))
             self._switch(transition.actor).expire_rule(transition.arg)
         elif kind == tk.CHANNEL_FAULT:
             port, op = transition.arg
             switch = self._switch(transition.actor)
+            self._dirty(("sw", transition.actor), "ledger")
             switch.port_in[port].apply_fault(tuple(op))
             self.ledger.record_fault(tuple(op), transition.actor, port)
         else:
@@ -252,6 +278,7 @@ class System:
 
     def _execute_host_send(self, transition: Transition) -> None:
         host = self._host(transition.actor)
+        self._dirty(("host", transition.actor), "ledger")
         descriptor = transition.arg
         if descriptor[0] == "sym":
             if transition.payload is None:
@@ -269,11 +296,13 @@ class System:
         packet.copy_id = ()
         packet.hops = []
         switch_id, port = self.host_locations[host.name]
+        self._dirty(("sw", switch_id))
         self._switch(switch_id).port_in[port].enqueue(packet)
         self.ledger.record_injected(packet, host.name)
 
     def _execute_host_move(self, transition: Transition) -> None:
         host = self._host(transition.actor)
+        self._dirty(("host", transition.actor))
         target = tuple(transition.arg)
         if target[0] not in self.switches or target[1] not in self.switches[target[0]].ports:
             raise TransitionError(f"move target {target} is not a switch port")
@@ -312,14 +341,17 @@ class System:
         for port, packet in emissions:
             host_name = self.attachments.get((sw_id, port))
             if host_name is not None:
+                self._dirty(("host", host_name))
                 self.hosts[host_name].deliver(packet)
                 continue
             endpoint = self.topo.endpoint(sw_id, port)
             if endpoint is not None and endpoint.kind == Endpoint.KIND_SWITCH:
+                self._dirty(("sw", endpoint.node))
                 self.switches[endpoint.node].port_in[endpoint.port].enqueue(packet)
                 continue
             # Nothing attached (loose port, or the host moved away): the
             # packet leaves the network without reaching any destination.
+            self._dirty("ledger")
             self.ledger.record_lost(packet, sw_id, port)
 
     def drain_control_plane(self) -> None:
@@ -335,49 +367,135 @@ class System:
             for sw_id in sorted(self.switches):
                 switch = self.switches[sw_id]
                 while switch.can_process_of():
-                    self.route(sw_id, switch.process_of())
+                    self.pump_process_of(sw_id)
                     progress = True
                 while self.runtime.can_handle(switch):
-                    self.runtime.handle_message(self.api(), switch)
+                    self.handle_ctrl_message(switch)
                     progress = True
+
+    def handle_ctrl_message(self, switch) -> None:
+        """Run the controller handler for ``switch``'s next pending message.
+
+        The invalidation-safe entry point: dequeuing from ``ofp_out`` and the
+        handler's controller-state mutation both invalidate cached canonical
+        forms; API calls to other switches invalidate theirs via the stamping
+        wrapper.  Strategies that pump the control plane outside ``execute``
+        (NO-DELAY) must go through here.
+        """
+        self._dirty(("sw", switch.switch_id), "app", "ctrl")
+        self.runtime.handle_message(self.api(), switch)
+
+    def pump_process_of(self, sw_id: str) -> None:
+        """Apply one pending controller message at ``sw_id`` and route the
+        resulting emissions (invalidation-safe; used by boot and NO-DELAY)."""
+        self._dirty(("sw", sw_id))
+        self.route(sw_id, self.switches[sw_id].process_of())
 
     # ------------------------------------------------------------------
     # State identity / checkpointing
     # ------------------------------------------------------------------
 
+    def _dirty(self, *keys) -> None:
+        """Drop cached canonical forms for mutated components."""
+        for key in keys:
+            self._canon_cache.pop(key, None)
+
+    def _memo(self, key, obj):
+        """Cached ``canonicalize(obj)``; recomputed only after `_dirty`."""
+        if not self.config.hash_memoization:
+            return canonicalize(obj)
+        form = self._canon_cache.get(key)
+        if form is None:
+            form = canonicalize(obj)
+            self._canon_cache[key] = form
+        return form
+
     def canonical_state(self) -> tuple:
+        """Fully canonical state tuple.
+
+        Component entries are memoized per switch/host/app/ledger (see
+        ``hash_memoization``); ``canonicalize`` is idempotent, so the overall
+        form — and therefore every state hash — is identical to canonicalizing
+        the raw component tuples from scratch.
+        """
         return (
-            tuple(self.switches[s].canonical() for s in sorted(self.switches)),
-            tuple(self.hosts[h].canonical() for h in sorted(self.hosts)),
-            canonicalize(self.app.state_vars()),
+            tuple(self._memo(("sw", s), self.switches[s])
+                  for s in sorted(self.switches)),
+            tuple(self._memo(("host", h), self.hosts[h])
+                  for h in sorted(self.hosts)),
+            self._memo("app", self.app.state_vars()),
             tuple(sorted(self.attachments.items())),
-            self.ledger.canonical(),
+            self._memo("ledger", self.ledger),
             tuple(sorted(self.events_fired.items())),
         )
 
     def controller_state_hash(self) -> str:
         """Hash of the controller state only — the discovery-cache key of
         Figure 5 (``client.packets[state(ctrl)]``)."""
-        return state_hash(self.app.state_vars())
+        if not self.config.hash_memoization:
+            return state_hash(self.app.state_vars())
+        digest = self._canon_cache.get("ctrl")
+        if digest is None:
+            digest = hash_canonical(self._memo("app", self.app.state_vars()))
+            self._canon_cache["ctrl"] = digest
+        return digest
 
     def state_hash(self) -> str:
-        return state_hash(self.canonical_state())
+        # canonical_state() is already fully canonical; hash its stable
+        # rendering directly instead of re-walking the whole tree.
+        return hash_canonical(self.canonical_state())
 
     def clone(self) -> "System":
-        """Checkpoint: deep-copy mutable parts, share static topology/config."""
+        """Checkpoint: copy the mutable parts, share everything static.
+
+        The fast path (default) hand-copies each component — see the
+        ``clone`` methods on :class:`SwitchModel`, :class:`FlowTable`,
+        :class:`~repro.hosts.base.Host`, :class:`PacketLedger` and the
+        apps — sharing immutable objects (installed match patterns,
+        actions, queued OpenFlow messages, packet history).  One packet
+        memo spans the whole clone so aliased packets stay aliased,
+        exactly as a single ``deepcopy`` pass would leave them; this is
+        the difference between O(state) tuple-walks and the ~10x cheaper
+        copy the search loop needs (DESIGN.md, "Cheap checkpointing").
+        ``config.fast_clone=False`` keeps the seed's deepcopy behavior —
+        the baseline the checkpointing benchmark measures against.
+        """
+        if not self.config.fast_clone:
+            return self._clone_deepcopy()
+        packet_memo: dict = {}
+        new = object.__new__(System)
+        new.topo = self.topo
+        new.config = self.config
+        new.switches = {sw_id: switch.clone(packet_memo)
+                        for sw_id, switch in self.switches.items()}
+        new.hosts = {name: host.clone(packet_memo)
+                     for name, host in self.hosts.items()}
+        new.runtime = ControllerRuntime(self.runtime.app.clone())
+        new.ledger = self.ledger.clone()
+        return self._finish_clone(new)
+
+    def _clone_deepcopy(self) -> "System":
+        """The seed's checkpointing: deep-copy every mutable component."""
         new = object.__new__(System)
         new.topo = self.topo
         new.config = self.config
         new.switches = copy.deepcopy(self.switches)
         new.hosts = copy.deepcopy(self.hosts)
         new.runtime = ControllerRuntime(copy.deepcopy(self.runtime.app))
+        new.ledger = copy.deepcopy(self.ledger)
+        return self._finish_clone(new)
+
+    def _finish_clone(self, new: "System") -> "System":
+        """Fields copied identically by both clone strategies."""
         new.attachments = dict(self.attachments)
         new.host_locations = dict(self.host_locations)
-        new.ledger = copy.deepcopy(self.ledger)
         new.events_fired = dict(self.events_fired)
         new.of_seq = self.of_seq
         new.last_handler = None
         new._api_calls = []
+        # Canonical forms are immutable tuples; a shallow copy lets the
+        # child reuse every digest its transition does not invalidate.
+        new._canon_cache = dict(self._canon_cache)
         return new
 
     # ------------------------------------------------------------------
@@ -415,6 +533,7 @@ class _StampingAPI:
         def wrapper(sw_id, *args, **kwargs):
             switch = self._system.switches.get(sw_id)
             before = len(switch.ofp_in) if switch else 0
+            self._system._dirty(("sw", sw_id), "app", "ctrl")
             result = method(sw_id, *args, **kwargs)
             if switch is not None:
                 for message in switch.ofp_in.items()[before:]:

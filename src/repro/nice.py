@@ -13,6 +13,7 @@ True
 from __future__ import annotations
 
 from repro.config import NiceConfig
+from repro.mc.parallel import ParallelSearcher
 from repro.mc.search import Searcher, SearchResult
 from repro.mc.strategies import make_strategy
 from repro.mc.system import System
@@ -46,7 +47,8 @@ class Scenario:
         discoverer = None
         if self.config.use_symbolic_execution:
             discoverer = ConcolicEngine(max_paths=self.config.max_paths)
-        return Searcher(
+        engine = ParallelSearcher if self.config.workers > 1 else Searcher
+        return engine(
             self.system_factory,
             self.properties,
             self.config,

@@ -59,6 +59,25 @@ class Channel:
         """A snapshot copy of the queued items (head first)."""
         return list(self._items)
 
+    def clone(self, packet_memo: dict | None = None) -> "Channel":
+        """Checkpoint copy (``System.clone``).
+
+        With ``packet_memo`` the items are data-plane packets, which the
+        switch mutates in place as they traverse it (hop recording), so
+        each is memo-copied.  Without it the items are OpenFlow messages,
+        immutable once enqueued, and stay shared with the original.
+        """
+        new = Channel.__new__(Channel)
+        new.name = self.name
+        new.reliable = self.reliable
+        new.failed = self.failed
+        if packet_memo is None:
+            new._items = list(self._items)
+        else:
+            new._items = [item.copy_memo(packet_memo)
+                          for item in self._items]
+        return new
+
     def clear(self) -> list:
         drained, self._items = self._items, []
         return drained
@@ -102,7 +121,15 @@ class Channel:
         if kind == "drop":
             return self._items.pop(index)
         if kind == "duplicate":
-            self._items.insert(index, self._items[index])
+            # Insert a distinct copy, not an alias: packets are mutated in
+            # place as they traverse switches (hop recording), so an alias
+            # left behind would see the other copy's hops — and would leave
+            # stale memoized canonical forms once the aliases end up in
+            # different components (System._dirty tracks mutations per
+            # component).  Items without a copy() are immutable test values.
+            item = self._items[index]
+            dup = item.copy() if hasattr(item, "copy") else item
+            self._items.insert(index, dup)
             return self._items[index]
         if kind == "reorder":
             if index + 1 >= len(self._items):

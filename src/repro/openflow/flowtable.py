@@ -40,6 +40,15 @@ class FlowTable:
     def rules(self) -> list[Rule]:
         return [rule for _, rule in self._entries]
 
+    def clone(self) -> "FlowTable":
+        """Checkpoint copy: rules are cloned (their counters are per-state),
+        sharing patterns and actions; insertion order is preserved."""
+        new = FlowTable.__new__(FlowTable)
+        new.canonical_mode = self.canonical_mode
+        new._entries = [(seq, rule.clone()) for seq, rule in self._entries]
+        new._next_seq = self._next_seq
+        return new
+
     def install(self, rule: Rule) -> None:
         """Add a rule; replaces an existing entry with identical match+priority.
 

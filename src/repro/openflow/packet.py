@@ -265,6 +265,19 @@ class Packet:
         dup.hops = list(self.hops)
         return dup
 
+    def copy_memo(self, memo: dict) -> "Packet":
+        """Memoized :meth:`copy` for checkpointing (``System.clone``).
+
+        Keyed by ``id``: packets aliased in the source state (e.g. buffered
+        *and* queued) stay aliased in the copy, exactly as one ``deepcopy``
+        pass over the whole system would leave them.
+        """
+        dup = memo.get(id(self))
+        if dup is None:
+            dup = self.copy()
+            memo[id(self)] = dup
+        return dup
+
     def canonical(self) -> tuple:
         """Stable serialization for state hashing (includes identity)."""
         return self.header_tuple() + (self.uid, self.copy_id, tuple(self.hops))

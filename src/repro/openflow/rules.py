@@ -60,6 +60,20 @@ class Rule:
         self.packet_count += 1
         self.byte_count += byte_count
 
+    def clone(self) -> "Rule":
+        """Checkpoint copy: counters are per-state; the match pattern and
+        action objects are immutable once installed and stay shared."""
+        new = Rule.__new__(Rule)
+        new.match = self.match
+        new.actions = list(self.actions)
+        new.priority = self.priority
+        new.idle_timeout = self.idle_timeout
+        new.hard_timeout = self.hard_timeout
+        new.cookie = self.cookie
+        new.packet_count = self.packet_count
+        new.byte_count = self.byte_count
+        return new
+
     @property
     def can_expire(self) -> bool:
         return self.hard_timeout != PERMANENT or self.idle_timeout != PERMANENT

@@ -99,6 +99,37 @@ class SwitchModel:
         #: History, not state: excluded from canonical().
         self.packet_in_log: list[tuple[Packet, str]] = []
 
+    def clone(self, packet_memo: dict) -> "SwitchModel":
+        """Checkpoint copy (``System.clone``), ~10x cheaper than deepcopy.
+
+        Shared with the original: queued OpenFlow messages (immutable once
+        enqueued — ``PacketIn`` carries a private packet copy, packet-outs
+        copy before emitting) and the ``packet_in_log`` entries (private
+        copies, read-only).  Memo-copied: data-plane packets in the port
+        channels and the controller-decision buffers, which the pipeline
+        mutates in place (hop recording, identity reset on release).
+        """
+        new = SwitchModel.__new__(SwitchModel)
+        new.switch_id = self.switch_id
+        new.ports = self.ports
+        new.table = self.table.clone()
+        new.port_in = {port: channel.clone(packet_memo)
+                       for port, channel in self.port_in.items()}
+        new.ofp_in = self.ofp_in.clone()
+        new.ofp_out = self.ofp_out.clone()
+        new.buffers = {
+            buffer_id: (packet.copy_memo(packet_memo), in_port)
+            for buffer_id, (packet, in_port) in self.buffers.items()
+        }
+        new._next_buffer_id = self._next_buffer_id
+        new.port_stats = {port: dict(stats)
+                          for port, stats in self.port_stats.items()}
+        new.port_up = dict(self.port_up)
+        new.dropped = list(self.dropped)
+        new.hash_counters = self.hash_counters
+        new.packet_in_log = list(self.packet_in_log)
+        return new
+
     # ------------------------------------------------------------------
     # Transition guards
     # ------------------------------------------------------------------
@@ -165,7 +196,10 @@ class SwitchModel:
                     if port != in_port and self.port_up[port]:
                         emissions.append((port, working))
             elif isinstance(action, ActionController):
-                self._buffer_and_notify(working, in_port, OFPR_ACTION)
+                # Buffer a copy: with an output action in the same list the
+                # packet object is also emitted, and the two references must
+                # not share in-place hop mutations (see Channel.apply_fault).
+                self._buffer_and_notify(working.copy(), in_port, OFPR_ACTION)
             elif isinstance(action, ActionDrop):
                 explicit_drop = True
             elif isinstance(action, ActionSetDlSrc):

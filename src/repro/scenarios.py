@@ -42,6 +42,21 @@ from repro.properties import (
     UseCorrectRoutingTable,
 )
 
+def with_config(scenario: Scenario, **overrides) -> Scenario:
+    """A copy of ``scenario`` with config fields replaced.
+
+    The standard way tests and benchmarks derive engine variants of one
+    experiment — ``with_config(sc, workers=4)`` for the parallel searcher,
+    ``with_config(sc, checkpoint_mode="trace")`` for trace-replay
+    checkpointing, ``with_config(sc, fast_clone=False,
+    hash_memoization=False)`` for the seed-behavior baseline.
+    """
+    config = dataclasses.replace(scenario.config, **overrides)
+    return Scenario(scenario.topo, scenario.app_factory,
+                    scenario.hosts_factory, scenario.properties, config,
+                    name=scenario.name)
+
+
 MAC_A = MacAddress.from_string("00:00:00:00:00:01")
 MAC_B = MacAddress.from_string("00:00:00:00:00:02")
 MAC_C = MacAddress.from_string("00:00:00:00:00:03")

@@ -74,6 +74,7 @@ class TestSymbolicDiscoveryThroughSearch:
 
 
 class TestSearchBudgets:
+    @pytest.mark.slow
     def test_first_violation_stops_early(self):
         stop = nice.run(scenarios.pyswitch_loop())
         keep = nice.run(

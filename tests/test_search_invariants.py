@@ -100,3 +100,44 @@ class TestExecutionDeterminism:
         drive(b, two)
         if a.state_hash() == b.state_hash():
             assert a.canonical_state() == b.canonical_state()
+
+
+class TestHashMemoization:
+    """The memoized per-component canonical forms must never go stale."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=25))
+    def test_memoized_hash_equals_fresh_hash(self, choices):
+        scenario = scenarios.ping_experiment(pings=2)
+        system = scenario.system_factory()
+        for choice in choices:
+            enabled = system.enabled_transitions()
+            if not enabled:
+                break
+            system = system.clone()
+            system.execute(enabled[choice % len(enabled)])
+            memoized = system.state_hash()
+            system._canon_cache.clear()
+            assert system.state_hash() == memoized
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=25))
+    def test_memoized_hash_equals_fresh_hash_under_faults(self, choices):
+        """Regression: a ``duplicate`` channel fault used to insert the same
+        Packet object twice; once one alias migrated to another component,
+        in-place hop recording left the other component's cached canonical
+        form stale."""
+        from repro.config import NiceConfig
+
+        scenario = scenarios.ping_experiment(
+            pings=1, config=NiceConfig(channel_faults=True))
+        system = scenario.system_factory()
+        for choice in choices:
+            enabled = system.enabled_transitions()
+            if not enabled:
+                break
+            system = system.clone()
+            system.execute(enabled[choice % len(enabled)])
+            memoized = system.state_hash()
+            system._canon_cache.clear()
+            assert system.state_hash() == memoized
