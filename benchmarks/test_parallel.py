@@ -9,14 +9,17 @@ of Table 1, asserting the >= 2x wall-clock speedup the optimization is
 meant to deliver, and reports the parallel engine's numbers alongside.
 
 On single-core runners (CI containers) ``workers=4`` cannot beat serial —
-restoration work is extra CPU with no extra CPU to run it on — so the
-parallel row asserts state-space equality and reports timing; the speedup
-assertion is gated on available cores.
+restoration work is extra CPU with no extra CPU to run it on — so by
+default the parallel row asserts state-space equality and reports timing,
+and the speedup assertion is gated on available cores.  The nightly
+``multicore-parallel`` CI job runs on a multi-core runner with
+``NICE_REQUIRE_MULTICORE=1`` (skipping becomes *failing*, so a mis-sized
+runner cannot silently pass) and ``NICE_PARALLEL_SPEEDUP_FLOOR=2.0``,
+turning the gate into a real >=2x wall-clock assertion.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 
 import pytest
@@ -31,16 +34,24 @@ from .conftest import large_runs_enabled, print_table
 PINGS = 3 if large_runs_enabled() else 2
 
 
+def available_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
 @pytest.fixture(scope="module")
 def engine_results():
     scenario = scenarios.ping_experiment(pings=PINGS)
     seed = nice.run(with_config(scenario, fast_clone=False,
                                 hash_memoization=False))
     fast = nice.run(with_config(scenario))
-    rows = {"seed": seed, "fast": fast}
-    if "fork" in multiprocessing.get_all_start_methods():
-        rows["workers4"] = nice.run(with_config(scenario, workers=4))
-    return rows
+    # The registry spec makes the pool work on every platform: fork where
+    # available, spawn otherwise (DESIGN.md, "Scheduler and transports").
+    workers = nice.run(with_config(scenario, workers=4))
+    round_robin = nice.run(with_config(scenario, workers=4, affinity=False))
+    return {"seed": seed, "fast": fast, "workers4": workers,
+            "workers4-rr": round_robin}
 
 
 def test_checkpointing_report(engine_results):
@@ -50,12 +61,13 @@ def test_checkpointing_report(engine_results):
         rows.append([
             label,
             f"{result.transitions_executed} / {result.unique_states}",
+            f"{result.replayed_transitions + result.rebuilt_transitions}",
             f"{result.wall_time:.2f}s",
             f"{baseline / result.wall_time:.2f}x",
         ])
     print_table(
         f"Checkpointing engines on the {PINGS}-ping workload (Table 1 row)",
-        ["engine", "transitions / unique", "time", "vs seed"],
+        ["engine", "transitions / unique", "restore", "time", "vs seed"],
         rows,
     )
 
@@ -69,18 +81,34 @@ def test_fast_engine_at_least_2x_over_seed(engine_results):
 
 
 def test_parallel_explores_identical_space(engine_results):
-    if "workers4" not in engine_results:
-        pytest.skip("fork start method unavailable")
-    serial, parallel = engine_results["fast"], engine_results["workers4"]
-    assert parallel.unique_states == serial.unique_states
-    assert parallel.transitions_executed == serial.transitions_executed
-    assert parallel.quiescent_states == serial.quiescent_states
+    serial = engine_results["fast"]
+    for label in ("workers4", "workers4-rr"):
+        parallel = engine_results[label]
+        assert parallel.unique_states == serial.unique_states
+        assert parallel.transitions_executed == serial.transitions_executed
+        assert parallel.quiescent_states == serial.quiescent_states
+
+
+def test_affinity_cuts_restoration_work(engine_results):
+    affine, round_robin = (engine_results["workers4"],
+                           engine_results["workers4-rr"])
+    assert affine.replayed_transitions < round_robin.replayed_transitions
 
 
 def test_parallel_speedup_with_real_cores(engine_results):
-    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
-        else (os.cpu_count() or 1)
-    if "workers4" not in engine_results or cores < 4:
+    """Gated off on 1-core runners; the nightly multicore-parallel CI job
+    makes it a hard >=2x assertion (see module docstring)."""
+    cores = available_cores()
+    required = os.environ.get("NICE_REQUIRE_MULTICORE", "") == "1"
+    if cores < 4:
+        if required:
+            pytest.fail(
+                f"NICE_REQUIRE_MULTICORE=1 but only {cores} core(s) —"
+                f" the multi-core job is running on the wrong runner")
         pytest.skip(f"needs >= 4 cores (have {cores})")
+    floor = float(os.environ.get("NICE_PARALLEL_SPEEDUP_FLOOR", "1.0"))
     serial, parallel = engine_results["fast"], engine_results["workers4"]
-    assert parallel.wall_time < serial.wall_time
+    speedup = serial.wall_time / parallel.wall_time
+    assert speedup > floor, (
+        f"workers=4 is only {speedup:.2f}x over serial on {cores} cores"
+        f" (floor {floor:.1f}x)")

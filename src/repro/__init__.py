@@ -19,7 +19,7 @@ of every table and figure in the paper's evaluation.
 """
 
 from repro.config import NiceConfig
-from repro.mc.search import SearchResult, Searcher, Violation
+from repro.mc.search import Searcher, SearchResult, SearchStats, Violation
 from repro.mc.system import System
 from repro.nice import Scenario, random_walk, replay, run
 
@@ -29,6 +29,7 @@ __all__ = [
     "NiceConfig",
     "Scenario",
     "SearchResult",
+    "SearchStats",
     "Searcher",
     "System",
     "Violation",

@@ -10,6 +10,9 @@ Examples::
     nice run pyswitch-direct-path
     nice run loadbalancer --strategy NO-DELAY --max-transitions 50000
     nice run ping --pings 3 --no-canonical
+    nice run ping --pings 3 --workers 4 --start-method spawn
+    nice run loadbalancer --workers 2 --transport socket
+    nice worker --connect 192.0.2.10:7000
     nice walk energy-te --steps 500 --seed 7
     nice list
 """
@@ -21,18 +24,18 @@ import json
 import sys
 
 from repro import nice, scenarios
-from repro.config import ALL_CHECKPOINT_MODES, ALL_STRATEGIES, NiceConfig
+from repro.config import (
+    ALL_CHECKPOINT_MODES,
+    ALL_START_METHODS,
+    ALL_STRATEGIES,
+    ALL_TRANSPORTS,
+    NiceConfig,
+)
 from repro.mc.replay import format_trace
 
-#: Scenario name -> builder (keyword arguments forwarded where sensible).
-SCENARIOS = {
-    "ping": scenarios.ping_experiment,
-    "pyswitch-mobile": scenarios.pyswitch_mobile,
-    "pyswitch-direct-path": scenarios.pyswitch_direct_path,
-    "pyswitch-loop": scenarios.pyswitch_loop,
-    "loadbalancer": scenarios.loadbalancer_scenario,
-    "energy-te": scenarios.energy_te_scenario,
-}
+#: Scenario name -> builder: the registry the spawn/socket workers resolve
+#: specs against (repro/scenarios.py).
+SCENARIOS = scenarios.REGISTRY
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +60,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-state-matching", action="store_true")
     run_p.add_argument("--workers", type=int, default=0,
                        help="search worker processes (0/1 = serial)")
+    run_p.add_argument("--transport", choices=ALL_TRANSPORTS,
+                       default="local",
+                       help="how workers are reached: in-process pool or "
+                            "TCP workers (see `nice worker`)")
+    run_p.add_argument("--start-method", choices=ALL_START_METHODS,
+                       default=None,
+                       help="local-transport start method (default: fork "
+                            "where available, else spawn)")
+    run_p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                       help="socket transport listen address "
+                            "(port 0 = pick a free port)")
+    run_p.add_argument("--external-workers", action="store_true",
+                       help="socket transport: wait for externally started "
+                            "`nice worker`s instead of spawning local ones")
+    run_p.add_argument("--no-affinity", action="store_true",
+                       help="route sibling groups round-robin instead of to "
+                            "the worker whose replay cache holds the parent")
     run_p.add_argument("--checkpoint-mode", choices=ALL_CHECKPOINT_MODES,
                        default="deepcopy",
                        help="frontier checkpointing: full deep copies or "
@@ -79,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
     walk_p.add_argument("--steps", type=int, default=200)
     walk_p.add_argument("--seed", type=int, default=0)
 
+    worker_p = sub.add_parser(
+        "worker",
+        help="serve a socket-transport master (`nice run --transport "
+             "socket`) as one search worker")
+    worker_p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="address the master is listening on")
+
     sub.add_parser("list", help="list available scenarios")
     return parser
 
@@ -93,6 +120,11 @@ def make_config(args) -> NiceConfig:
         max_transitions=args.max_transitions,
         stop_at_first_violation=not args.all_violations,
         workers=args.workers,
+        transport=args.transport,
+        start_method=args.start_method,
+        worker_address=args.listen,
+        spawn_socket_workers=not args.external_workers,
+        affinity=not args.no_affinity,
         checkpoint_mode=args.checkpoint_mode,
         hash_memoization=not args.no_hash_memoization,
         fast_clone=not args.no_fast_clone,
@@ -108,12 +140,26 @@ def build_scenario(name: str, args, config: NiceConfig | None):
 
 def cmd_run(args) -> int:
     config = make_config(args)
+    if args.workers <= 1:
+        ignored = [flag for flag, is_default in [
+            ("--transport", args.transport == "local"),
+            ("--start-method", args.start_method is None),
+            ("--listen", args.listen == "127.0.0.1:0"),
+            ("--external-workers", not args.external_workers),
+            ("--no-affinity", not args.no_affinity),
+        ] if not is_default]
+        if ignored:
+            print(f"warning: {', '.join(ignored)} have no effect without"
+                  f" --workers N (N > 1); running the serial engine",
+                  file=sys.stderr)
     scenario = build_scenario(args.scenario, args, config)
     result = nice.run(scenario)
     if args.json:
         payload = {
             "scenario": scenario.name,
             "strategy": config.strategy,
+            "engine": result.engine,
+            "workers": result.workers,
             "transitions": result.transitions_executed,
             "unique_states": result.unique_states,
             "wall_time": result.wall_time,
@@ -149,12 +195,20 @@ def cmd_list() -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    from repro.mc.transport.socket import run_worker
+
+    return run_worker(args.connect)
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
     if args.command == "walk":
         return cmd_walk(args)
+    if args.command == "worker":
+        return cmd_worker(args)
     if args.command == "list":
         return cmd_list()
     return 2

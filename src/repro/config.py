@@ -40,6 +40,22 @@ CHECKPOINT_TRACE = "trace"
 
 ALL_CHECKPOINT_MODES = (CHECKPOINT_DEEPCOPY, CHECKPOINT_TRACE)
 
+#: Transports for the parallel searcher (DESIGN.md, "Scheduler and
+#: transports").  ``local`` runs workers as child processes on this
+#: machine; ``socket`` drives TCP workers (started with ``nice worker``),
+#: which may live on other machines.
+TRANSPORT_LOCAL = "local"
+TRANSPORT_SOCKET = "socket"
+
+ALL_TRANSPORTS = (TRANSPORT_LOCAL, TRANSPORT_SOCKET)
+
+#: Start methods for the local transport.  ``None`` picks ``fork`` where
+#: the platform offers it and ``spawn`` otherwise.
+START_METHOD_FORK = "fork"
+START_METHOD_SPAWN = "spawn"
+
+ALL_START_METHODS = (START_METHOD_FORK, START_METHOD_SPAWN)
+
 
 @dataclass
 class NiceConfig:
@@ -76,6 +92,29 @@ class NiceConfig:
     * ``workers`` — size of the search worker pool.  ``0`` (the default)
       and ``1`` run the serial searcher; ``N > 1`` shards the frontier
       across N processes with a shared explored-state set (DESIGN.md).
+    * ``transport`` — how parallel workers are reached:
+      :data:`TRANSPORT_LOCAL` (child processes) or
+      :data:`TRANSPORT_SOCKET` (TCP workers, ``nice worker``).
+    * ``start_method`` — multiprocessing start method for the local
+      transport (:data:`START_METHOD_FORK` or :data:`START_METHOD_SPAWN`);
+      ``None`` auto-selects ``fork`` where available, ``spawn`` otherwise.
+      ``spawn`` (and the socket transport) require the scenario to be
+      reconstructable by name — see the registry in ``repro/scenarios.py``.
+    * ``worker_address`` — ``host:port`` the socket transport listens on.
+      Port ``0`` picks a free port; workers are told the real one.
+    * ``spawn_socket_workers`` — when True (the default) the socket
+      transport launches ``workers`` local ``nice worker`` subprocesses
+      pointed at its own listening address, so ``transport="socket"``
+      works out of the box; set False when workers are started externally
+      (e.g. on other machines) and the master should only wait for them.
+    * ``affinity`` — route a sibling group to the worker whose replay
+      cache holds its parent trace (DESIGN.md, "Affinity scheduling").
+      Disable for round-robin routing; results are identical either way,
+      only restoration work changes.  Only composes with the default
+      ``dfs`` search order — ``bfs``/``random`` frontiers pop globally
+      and route round-robin regardless.
+    * ``worker_cache_size`` — per-worker LRU bound on cached node systems
+      used for prefix-replay restoration.
     * ``checkpoint_mode`` — how frontier states are stored:
       :data:`CHECKPOINT_DEEPCOPY` (seed behavior) or
       :data:`CHECKPOINT_TRACE` (trace-replay restoration, Section 6).
@@ -112,6 +151,12 @@ class NiceConfig:
     #: would be unsound.
     hash_counters: bool = False
     workers: int = 0
+    transport: str = TRANSPORT_LOCAL
+    start_method: str | None = None
+    worker_address: str = "127.0.0.1:0"
+    spawn_socket_workers: bool = True
+    affinity: bool = True
+    worker_cache_size: int = 2048
     checkpoint_mode: str = CHECKPOINT_DEEPCOPY
     hash_memoization: bool = True
     fast_clone: bool = True
@@ -133,6 +178,19 @@ class NiceConfig:
             raise ValueError("max_paths must be >= 1")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        if self.transport not in ALL_TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r};"
+                f" expected one of {ALL_TRANSPORTS}"
+            )
+        if (self.start_method is not None
+                and self.start_method not in ALL_START_METHODS):
+            raise ValueError(
+                f"unknown start method {self.start_method!r};"
+                f" expected one of {ALL_START_METHODS} or None"
+            )
+        if self.worker_cache_size < 1:
+            raise ValueError("worker_cache_size must be >= 1")
         if self.checkpoint_mode not in ALL_CHECKPOINT_MODES:
             raise ValueError(
                 f"unknown checkpoint mode {self.checkpoint_mode!r};"

@@ -8,13 +8,14 @@ search strategies of Section 4.
 """
 
 from repro.mc.canonical import canonicalize, state_hash
-from repro.mc.search import SearchResult, Searcher, Violation
+from repro.mc.search import Searcher, SearchResult, SearchStats, Violation
 from repro.mc.strategies import make_strategy
 from repro.mc.system import System
 from repro.mc.transitions import Transition
 
 __all__ = [
     "SearchResult",
+    "SearchStats",
     "Searcher",
     "System",
     "Transition",

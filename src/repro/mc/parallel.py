@@ -1,336 +1,21 @@
-"""Parallel state-space search: sibling-group tasks over a worker pool.
+"""Backwards-compatible façade over the parallel search stack.
 
-Architecture (DESIGN.md, "Search engine"):
+PR 1 shipped the parallel engine as one fork-only module here.  It is now
+layered (DESIGN.md, "Scheduler and transports"):
 
-* the **master** owns the explored-state set and a frontier of
-  **sibling groups** ``(parent trace, [transitions])`` — trace-replay
-  checkpoints; full :class:`System` objects never cross process
-  boundaries.  Children returned by a task are deduplicated against the
-  global explored set *before* they are scheduled, so every reachable
-  state is expanded exactly once, exactly like the serial loop;
-* a **worker** restores a group's parent by trace replay, rebuilds each
-  sibling node with one clone + execute, and expands it: enumerate enabled
-  transitions, clone + execute each child, check the properties, and hash.
-  Results reference nodes by ``(group, sibling)`` index — the master
-  rebuilds their traces from the groups it sent, so each transition
-  crosses the process boundary at most twice (once discovered in a
-  result, once replayed in a later task) instead of once per descendant;
-* replay cost is amortized three ways: siblings share one parent replay,
-  each worker keeps an LRU cache of node systems keyed by trace (restoring
-  a group usually clones a cached ancestor and replays only the missing
-  suffix), and long replays snapshot a spine of intermediate states back
-  into the cache;
-* the master merges results as they arrive — no wave barrier; completed
-  tasks immediately refill the pool.
+* :mod:`repro.mc.scheduler` — the transport-agnostic master loop
+  (explored set, sibling-group frontier, pre-scheduling dedup, affinity
+  routing) and :class:`ParallelSearcher`;
+* :mod:`repro.mc.worker` — the worker runtime (replay LRU, expansion);
+* :mod:`repro.mc.transport` — local fork/spawn pools and TCP workers;
+* :mod:`repro.mc.wire` — the task/result wire format and scenario specs.
 
-The pool uses the ``fork`` start method so workers inherit the scenario's
-closures (system factories are not picklable); on platforms without
-``fork``, or with ``workers <= 1``, the searcher falls back to the serial
-engine.
-
-Exactness contract: every (state, transition) pair is executed and
-property-checked exactly once, so for an exhaustive search
-(``stop_at_first_violation`` off, no transition cap) ``unique_states``,
-``transitions_executed``, ``revisited_states`` and ``quiescent_states``
-all equal the serial searcher's.  The set of *violated properties* is
-likewise identical.  Individual violation records can differ from serial
-DFS in their messages and traces whenever a property reads execution
-*history* (packet-fate ledger, packet-in logs): state matching keeps only
-the first path that reaches each state, and which path wins is a search-
-order artifact — serial DFS and BFS disagree on those records the same
-way.  For history-independent properties the ``(property, state hash)``
-sets match exactly.  Early-stopping runs are approximate: workers in
-flight when the stop condition trips may have executed extra transitions.
+Import :class:`ParallelSearcher` from here or from
+:mod:`repro.mc.scheduler` interchangeably.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
-from collections import OrderedDict
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from repro.mc.scheduler import ParallelSearcher
 
-from repro.errors import PropertyViolation
-from repro.mc.replay import replay_from
-from repro.mc.search import SearchResult, Searcher, Violation, _StopSearch
-from repro.mc.strategies import make_strategy
-
-#: Per-process worker state, populated by :func:`_worker_setup` in the
-#: forked child.  The parent sets :data:`_FORK_SEARCHER` before creating the
-#: pool; forked children inherit it by copy-on-write.
-_FORK_SEARCHER: "ParallelSearcher | None" = None
-_WORKER: "_WorkerState | None" = None
-
-
-class _WorkerState:
-    """Everything one worker process needs, built once per process."""
-
-    #: Maximum number of node systems kept for prefix-replay restoration.
-    MAX_CACHE = 2048
-    #: Snapshot stride while replaying long suffixes.
-    SPINE = 8
-
-    def __init__(self, searcher: "ParallelSearcher"):
-        self.searcher = searcher
-        self.initial = searcher.system_factory()
-        self.strategy = (searcher._strategy
-                         or make_strategy(searcher.config, self.initial.app))
-        self.properties = searcher.properties
-        for prop in self.properties:
-            prop.reset(self.initial)
-        #: trace -> System at that trace.  Entries are never mutated (they
-        #: only serve as clone sources), so cache hits are safe to reuse.
-        #: The initial state lives in ``self.initial``, not here, so
-        #: eviction never has to special-case it.
-        self.cache: OrderedDict[tuple, object] = OrderedDict()
-
-    def base_for(self, trace, out):
-        """System at ``trace``: clone the longest cached ancestor and replay
-        the missing suffix (full replay from the initial state at worst),
-        snapshotting every :data:`SPINE` steps so nearby groups restore
-        cheaply."""
-        for k in range(len(trace), -1, -1):
-            system = self.cache.get(trace[:k])
-            if system is None:
-                continue
-            self.cache.move_to_end(trace[:k])
-            if k == len(trace):
-                return system
-            out["replayed"] += len(trace) - k
-            return self._replay_with_spine(system.clone(), trace, k)
-        out["replayed"] += len(trace)
-        return self._replay_with_spine(self.initial.clone(), trace, 0)
-
-    def _replay_with_spine(self, system, trace, k):
-        while k < len(trace):
-            segment = trace[k:k + self.SPINE]
-            replay_from(system, segment, self.strategy)
-            k += len(segment)
-            if k < len(trace):
-                self.remember(trace[:k], system.clone())
-        return system
-
-    def remember(self, trace, system) -> None:
-        self.cache[trace] = system
-        if len(self.cache) > self.MAX_CACHE:
-            self.cache.popitem(last=False)
-
-
-def _worker_setup() -> None:
-    global _WORKER
-    _WORKER = _WorkerState(_FORK_SEARCHER)
-
-
-def _expand_task(groups):
-    """Expand every node of every sibling group, one clone per child.
-
-    Mirrors the serial loop's per-node work exactly (quiescence check,
-    depth cap, one execute + property check per child); only *restoration*
-    work (parent replay, sibling rebuild) is extra, and none of it is
-    counted in the transition totals.  Nodes are referenced back to the
-    master as ``(group index, sibling index | None)``.
-    """
-    worker = _WORKER
-    searcher = worker.searcher
-    config = searcher.config
-    stats = SearchResult()  # scratch counter sink for _enabled()
-    out = {
-        "children": [],     # (gi, si, [(transition, digest), ...])
-        "quiescent": 0,
-        "violations": [],   # (property, message, hash, gi, si, transition)
-        "transitions": 0,
-        "replayed": 0,      # restoration transitions (not counted in totals)
-        "rebuilt": 0,       # sibling-rebuild transitions (ditto)
-    }
-    for gi, (trace, steps) in enumerate(groups):
-        base = worker.base_for(trace, out)
-        if steps is None:       # the initial-state group
-            nodes = [(base, trace, None)]
-        else:
-            nodes = []
-            for si, step in enumerate(steps):
-                system = base.clone()
-                system.execute(step)
-                worker.strategy.post_execute(system, step)
-                out["rebuilt"] += 1
-                nodes.append((system, trace + (step,), si))
-        for system, node_trace, si in nodes:
-            worker.remember(node_trace, system)
-            enabled = searcher._enabled(system, worker.strategy, stats)
-            if not enabled:
-                out["quiescent"] += 1
-                _check(worker, "check_quiescent", system, gi, si, None, out)
-                if config.stop_at_first_violation and out["violations"]:
-                    return _finish(out, stats)
-                continue
-            if (config.max_depth is not None
-                    and len(node_trace) >= config.max_depth):
-                continue
-            kids = []
-            for transition in enabled:
-                child = system.clone()
-                child.execute(transition)
-                worker.strategy.post_execute(child, transition)
-                out["transitions"] += 1
-                _check(worker, "check", child, gi, si, transition, out)
-                if config.stop_at_first_violation and out["violations"]:
-                    return _finish(out, stats)
-                # The digest feeds the master's explored-set dedup; without
-                # state matching it would be discarded (the serial loop
-                # skips hashing there too).
-                kids.append((transition,
-                             child.state_hash() if config.state_matching
-                             else None))
-            out["children"].append((gi, si, kids))
-    return _finish(out, stats)
-
-
-def _finish(out, stats: SearchResult):
-    out["discover_packet_runs"] = stats.discover_packet_runs
-    out["discover_stats_runs"] = stats.discover_stats_runs
-    return out
-
-
-def _check(worker: _WorkerState, method: str, system, gi, si, transition,
-           out) -> None:
-    """Run every property, appending violations as picklable tuples."""
-    for prop in worker.properties:
-        try:
-            if method == "check":
-                prop.check(system, transition)
-            else:
-                prop.check_quiescent(system)
-        except PropertyViolation as violation:
-            out["violations"].append(
-                (violation.property_name, violation.message,
-                 system.state_hash(), gi, si, transition)
-            )
-
-
-class ParallelSearcher(Searcher):
-    """Figure 5's loop, sharded across ``config.workers`` processes."""
-
-    #: Max sibling groups packed into one task.
-    MAX_GROUPS = 8
-    #: Max total nodes per task once the frontier is wide.
-    NODE_BUDGET = 16
-
-    def run(self) -> SearchResult:
-        if self.config.workers <= 1 or not self._fork_available():
-            return super().run()
-        return self._run_pool()
-
-    @staticmethod
-    def _fork_available() -> bool:
-        return "fork" in multiprocessing.get_all_start_methods()
-
-    def _run_pool(self) -> SearchResult:
-        global _FORK_SEARCHER
-        #: Restoration overhead (replayed + sibling-rebuild transitions) —
-        #: work the serial deepcopy engine does not do; exposed for
-        #: benchmarks and tuning.
-        self.restore_transitions = 0
-        result = SearchResult()
-        start = time.perf_counter()
-        initial = self.system_factory()
-        for prop in self.properties:
-            prop.reset(initial)
-        try:
-            self._check_properties(initial, None, result, ())
-        except _StopSearch:
-            result.wall_time = time.perf_counter() - start
-            return result
-
-        explored: set[str] = {initial.state_hash()}
-        #: Sibling groups: (parent trace, [transition, ...] | None).
-        frontier: list[tuple] = [((), None)]
-        context = multiprocessing.get_context("fork")
-        _FORK_SEARCHER = self
-        executor = ProcessPoolExecutor(
-            max_workers=self.config.workers, mp_context=context,
-            initializer=_worker_setup,
-        )
-        in_flight: dict = {}  # future -> the task's groups
-        try:
-            while frontier or in_flight:
-                while frontier and len(in_flight) < 2 * self.config.workers:
-                    task = self._pack(frontier, len(explored))
-                    in_flight[executor.submit(_expand_task, task)] = task
-                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
-                for future in done:
-                    groups = in_flight.pop(future)
-                    self._merge(future.result(), groups, result, explored,
-                                frontier)
-        except _StopSearch:
-            pass
-        finally:
-            for future in in_flight:
-                future.cancel()
-            executor.shutdown(wait=True, cancel_futures=True)
-            _FORK_SEARCHER = None
-        result.unique_states = len(explored)
-        result.wall_time = time.perf_counter() - start
-        return result
-
-    def _pack(self, frontier: list, explored_count: int) -> list:
-        """Pop up to MAX_GROUPS groups (NODE_BUDGET nodes) into one task.
-
-        While the explored set is small a task carries a single node, so
-        the search fans out across the pool instead of running serially
-        inside one worker.
-        """
-        budget = (1 if explored_count < 4 * self.config.workers
-                  else self.NODE_BUDGET)
-        groups, nodes = [], 0
-        while frontier and len(groups) < self.MAX_GROUPS and nodes < budget:
-            trace, steps = self._pop(frontier)
-            take = len(steps) if steps is not None else 1
-            if steps is not None and nodes + take > budget and groups:
-                # Split an oversized group rather than overshooting.
-                frontier.append((trace, steps))
-                break
-            groups.append((trace, steps))
-            nodes += take
-        return groups
-
-    @staticmethod
-    def _node_trace(groups, gi, si) -> tuple:
-        trace, steps = groups[gi]
-        return trace if si is None else trace + (steps[si],)
-
-    def _merge(self, out, groups, result: SearchResult, explored: set,
-               frontier: list) -> None:
-        """Fold one task's results into the master state."""
-        result.discover_packet_runs += out["discover_packet_runs"]
-        result.discover_stats_runs += out["discover_stats_runs"]
-        result.transitions_executed += out["transitions"]
-        result.quiescent_states += out["quiescent"]
-        self.restore_transitions += out["replayed"] + out["rebuilt"]
-        for property_name, message, digest, gi, si, transition in \
-                out["violations"]:
-            trace = self._node_trace(groups, gi, si)
-            if transition is not None:
-                trace = trace + (transition,)
-            result.violations.append(
-                Violation(property_name, message, trace, digest,
-                          result.transitions_executed)
-            )
-            if self.config.stop_at_first_violation:
-                result.terminated = "first_violation"
-                raise _StopSearch()
-        if (self.config.max_transitions is not None
-                and result.transitions_executed
-                >= self.config.max_transitions):
-            result.terminated = "max_transitions"
-            raise _StopSearch()
-        for gi, si, kids in out["children"]:
-            fresh = []
-            for transition, digest in kids:
-                if self.config.state_matching:
-                    if digest in explored:
-                        result.revisited_states += 1
-                        continue
-                    explored.add(digest)
-                fresh.append(transition)
-            if fresh:
-                frontier.append((self._node_trace(groups, gi, si), fresh))
+__all__ = ["ParallelSearcher"]

@@ -36,6 +36,28 @@ def replay_from(system: System, trace, strategy: Strategy | None = None) -> Syst
     return system
 
 
+def replay_with_spine(system: System, trace, start: int,
+                      strategy: Strategy | None = None,
+                      snapshot=None, stride: int = 8) -> System:
+    """Replay ``trace[start:]`` on ``system`` in place, invoking
+    ``snapshot(prefix, clone)`` every ``stride`` executed transitions.
+
+    The snapshot hook is how parallel workers repopulate their replay LRU
+    while restoring a long suffix (DESIGN.md, "Affinity scheduling"):
+    nearby sibling groups then restore from a spine clone instead of
+    replaying from the initial state again.
+    """
+    strategy = strategy or Strategy()
+    k = start
+    while k < len(trace):
+        segment = trace[k:k + stride]
+        replay_from(system, segment, strategy)
+        k += len(segment)
+        if snapshot is not None and k < len(trace):
+            snapshot(trace[:k], system.clone())
+    return system
+
+
 def replay_trace(system_factory, trace, strategy: Strategy | None = None,
                  expected_hash: str | None = None) -> System:
     """Re-execute ``trace`` from a fresh initial state.

@@ -1,0 +1,298 @@
+"""Transport-agnostic parallel search scheduler (DESIGN.md, "Scheduler
+and transports").
+
+The master owns the explored-state set and a frontier of **sibling
+groups** ``(parent trace, [transitions])`` — trace-replay checkpoints;
+full :class:`~repro.mc.system.System` objects never cross a process or
+socket boundary.  Children returned by a task are deduplicated against
+the global explored set *before* they are scheduled, so every reachable
+state is expanded exactly once, exactly like the serial loop.  Workers
+(:mod:`repro.mc.worker`) restore a group's parent by trace replay and
+expand every sibling; the scheduler merges results as they arrive — no
+wave barrier; completed tasks immediately refill the workers.
+
+**Affinity routing** (``NiceConfig.affinity``, default on): every group
+discovered by worker *w* has its parent trace sitting in *w*'s replay
+LRU, so the scheduler keeps a per-worker frontier queue and prefers
+handing a worker its own groups — the restore is then one cache hit plus
+a one-transition suffix.  An idle worker with an empty queue *steals*
+from the longest other queue, so affinity never serializes the search.
+``affinity_hits`` / ``affinity_misses`` in :class:`SearchStats` count
+groups that ran on their owner vs. stolen/rerouted ones; with affinity
+off, routing is round-robin and every group counts as a miss.  Affinity
+composes with the default ``dfs`` order only: ``bfs`` and ``random``
+frontiers pop from one global queue in frontier order (the policy
+``Searcher._pop`` applies serially) and route round-robin.
+
+Exactness contract (unchanged from PR 1): every (state, transition) pair
+is executed and property-checked exactly once, so for an exhaustive
+search ``unique_states``, ``transitions_executed``, ``revisited_states``
+and ``quiescent_states`` all equal the serial searcher's — on every
+transport and start method.  The set of *violated properties* is likewise
+identical.  Individual violation records can differ from serial DFS in
+their messages and traces whenever a property reads execution *history*
+(packet-fate ledger, packet-in logs): state matching keeps only the first
+path that reaches each state, and which path wins is a search-order
+artifact — serial DFS and BFS disagree on those records the same way.
+Early-stopping runs are approximate: workers in flight when the stop
+condition trips may have executed extra transitions.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import ORDER_BFS, ORDER_DFS
+from repro.mc.search import Searcher, SearchStats, Violation, _StopSearch
+from repro.mc.transport import TransportError, create_transport
+from repro.mc.wire import ExpandTask, TaskResult, WorkerError
+
+
+class ParallelSearcher(Searcher):
+    """Figure 5's loop, sharded across ``config.workers`` workers.
+
+    ``scenario_spec`` (a :class:`~repro.mc.wire.ScenarioSpec` or None) is
+    what spawn/socket transports ship to workers so they can rebuild the
+    initial System by registry name; without it only ``fork`` workers —
+    which inherit the closures — are possible.
+    """
+
+    def __init__(self, system_factory, properties, config, strategy=None,
+                 discoverer=None, scenario_spec=None):
+        super().__init__(system_factory, properties, config,
+                         strategy=strategy, discoverer=discoverer)
+        self.scenario_spec = scenario_spec
+
+    def run(self) -> SearchStats:
+        if self.config.workers <= 1:
+            return super().run()
+        transport = create_transport(self.config, self.scenario_spec)
+        if transport is None:
+            # create_transport already warned about why.
+            return super().run()
+        return _Scheduler(self, transport).run()
+
+
+class _Scheduler:
+    """One search run: a frontier of sibling groups routed to workers."""
+
+    #: Max sibling groups packed into one task.
+    MAX_GROUPS = 8
+    #: Max total nodes per task once the frontier is wide.
+    NODE_BUDGET = 16
+    #: Tasks kept in flight per worker (>1 hides result latency).
+    PER_WORKER_INFLIGHT = 2
+
+    def __init__(self, searcher: ParallelSearcher, transport):
+        self.searcher = searcher
+        self.config = searcher.config
+        self.transport = transport
+        #: Affinity routing only composes with DFS pops: BFS and random
+        #: orders need one global queue popped in frontier order, exactly
+        #: like PR 1's engine (which had no affinity on any order).
+        self._affine = (self.config.affinity
+                        and self.config.search_order == ORDER_DFS)
+        #: owner worker id (or None) -> queue of (trace, steps) groups.
+        #: With affinity off everything lives under None.
+        self._queues: dict[int | None, list] = {None: []}
+        self._pending_groups = 0
+        self._explored: set = set()
+        self._in_flight: dict[int, tuple[int, list]] = {}  # task_id -> (wid, groups)
+        self._load = [0] * transport.workers
+        self._next_task_id = 0
+        self._next_round_robin = 0
+        self.stats = SearchStats()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SearchStats:
+        searcher, stats = self.searcher, self.stats
+        stats.engine = self.transport.name
+        stats.workers = self.transport.workers
+        start = time.perf_counter()
+        initial = searcher.system_factory()
+        for prop in searcher.properties:
+            prop.reset(initial)
+        try:
+            searcher._check_properties(initial, None, stats, ())
+        except _StopSearch:
+            stats.wall_time = time.perf_counter() - start
+            return stats
+
+        self._explored.add(initial.state_hash())
+        self._push(None, ((), None))
+        # start() is inside the try: a transport that fails to come up
+        # (accept deadline, dead spawn) must still have stop() run so no
+        # listener or half-started worker outlives the search.
+        try:
+            self.transport.start(searcher)
+            while self._pending_groups or self._in_flight:
+                self._dispatch()
+                self._merge(self._receive())
+        except _StopSearch:
+            pass
+        finally:
+            self.transport.stop()
+        stats.unique_states = len(self._explored)
+        stats.wall_time = time.perf_counter() - start
+        return stats
+
+    def _receive(self) -> TaskResult:
+        message = self.transport.recv()
+        if isinstance(message, WorkerError):
+            raise TransportError(
+                f"worker {message.worker_id} failed on task"
+                f" {message.task_id}:\n{message.error}")
+        return message
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _push(self, owner: int | None, group: tuple) -> None:
+        if not self._affine:
+            owner = None
+        self._queues.setdefault(owner, []).append(group)
+        self._pending_groups += 1
+
+    def _pop_group(self, queue: list) -> tuple:
+        """Pop per ``config.search_order`` — dfs from the end, bfs from the
+        front, random via the searcher's seeded RNG (the same policy
+        ``Searcher._pop`` applies to the serial frontier)."""
+        order = self.config.search_order
+        if order == ORDER_DFS:
+            return queue.pop()
+        if order == ORDER_BFS:
+            return queue.pop(0)
+        return queue.pop(self.searcher._rng.randrange(len(queue)))
+
+    def _dispatch(self) -> None:
+        """Hand groups to every worker with spare capacity."""
+        while self._pending_groups:
+            worker_id = self._pick_worker()
+            if worker_id is None:
+                return
+            groups = self._pack(worker_id)
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            self._in_flight[task_id] = (worker_id, groups)
+            self._load[worker_id] += 1
+            self.transport.submit(worker_id, ExpandTask(task_id, groups))
+
+    def _pick_worker(self) -> int | None:
+        """Next worker to feed: affine work first, then the least loaded
+        (round-robin tie-break keeps spawn-order bias out)."""
+        spare = [w for w in range(len(self._load))
+                 if self._load[w] < self.PER_WORKER_INFLIGHT]
+        if not spare:
+            return None
+        if self._affine:
+            affine = [w for w in spare if self._queues.get(w)]
+            if affine:
+                return min(affine, key=lambda w: self._load[w])
+        choice = min(
+            spare,
+            key=lambda w: (self._load[w],
+                           (w - self._next_round_robin) % len(self._load)),
+        )
+        self._next_round_robin = (choice + 1) % len(self._load)
+        return choice
+
+    def _pack(self, worker_id: int) -> list:
+        """Pop up to MAX_GROUPS groups (NODE_BUDGET nodes) for one task.
+
+        While the explored set is small a task carries a single node, so
+        the search fans out across the pool instead of running serially
+        inside one worker.  Groups owned by ``worker_id`` are taken first
+        (affinity hits); an empty own queue steals from the longest other
+        queue (affinity misses).
+        """
+        budget = (1 if len(self._explored) < 4 * self.transport.workers
+                  else self.NODE_BUDGET)
+        groups: list = []
+        nodes = 0
+        while self._pending_groups and len(groups) < self.MAX_GROUPS \
+                and nodes < budget:
+            queue, owned = self._source_queue(worker_id)
+            trace, steps = self._pop_group(queue)
+            take = len(steps) if steps is not None else 1
+            if steps is not None and nodes + take > budget and groups:
+                # Defer an oversized group rather than overshooting,
+                # putting it back where the order's next pop finds it.
+                if self.config.search_order == ORDER_BFS:
+                    queue.insert(0, (trace, steps))
+                else:
+                    queue.append((trace, steps))
+                break
+            self._pending_groups -= 1
+            if owned and self._affine:
+                self.stats.affinity_hits += 1
+            else:
+                self.stats.affinity_misses += 1
+            groups.append((trace, steps))
+            nodes += take
+        return groups
+
+    def _source_queue(self, worker_id: int) -> tuple[list, bool]:
+        own = self._queues.get(worker_id)
+        if own:
+            return own, True
+        longest = max((q for q in self._queues.values() if q), key=len)
+        return longest, False
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _node_trace(groups, gi, si) -> tuple:
+        trace, steps = groups[gi]
+        return trace if si is None else trace + (steps[si],)
+
+    def _merge(self, result: TaskResult) -> None:
+        """Fold one task's output into the master state."""
+        worker_id, groups = self._in_flight.pop(result.task_id)
+        self._load[worker_id] -= 1
+        out = result.out
+        stats = self.stats
+        stats.discover_packet_runs += out["discover_packet_runs"]
+        stats.discover_stats_runs += out["discover_stats_runs"]
+        stats.transitions_executed += out["transitions"]
+        stats.quiescent_states += out["quiescent"]
+        stats.replayed_transitions += out["replayed"]
+        stats.rebuilt_transitions += out["rebuilt"]
+        stats.cache_hits += out["cache_hits"]
+        stats.cache_misses += out["cache_misses"]
+        for property_name, message, digest, gi, si, transition in \
+                out["violations"]:
+            trace = self._node_trace(groups, gi, si)
+            if transition is not None:
+                trace = trace + (transition,)
+            stats.violations.append(
+                Violation(property_name, message, trace, digest,
+                          stats.transitions_executed)
+            )
+            if self.config.stop_at_first_violation:
+                stats.terminated = "first_violation"
+                raise _StopSearch()
+        if (self.config.max_transitions is not None
+                and stats.transitions_executed
+                >= self.config.max_transitions):
+            stats.terminated = "max_transitions"
+            raise _StopSearch()
+        for gi, si, kids in out["children"]:
+            fresh = []
+            for transition, digest in kids:
+                if self.config.state_matching:
+                    if digest in self._explored:
+                        stats.revisited_states += 1
+                        continue
+                    self._explored.add(digest)
+                fresh.append(transition)
+            if fresh:
+                # The worker that expanded this node holds its trace in
+                # its replay LRU — route the children back to it.
+                self._push(worker_id,
+                           (self._node_trace(groups, gi, si), fresh))

@@ -66,8 +66,19 @@ class Violation:
                 f" trace length {len(self.trace)})")
 
 
-class SearchResult:
-    """Everything a search run measured."""
+class SearchStats:
+    """Everything a search run measured.
+
+    ``engine`` describes how the search actually ran — ``"serial"``, or
+    ``"<transport>-<start method>"`` / ``"socket"`` for the parallel
+    scheduler — so a caller (and ``nice run``) can see whether a
+    ``workers=N`` request was honored.  The restoration counters
+    (``cache_hits`` / ``cache_misses`` / ``replayed_transitions`` /
+    ``rebuilt_transitions``) and the routing counters (``affinity_hits`` /
+    ``affinity_misses``) are zero for serial runs; they measure work the
+    serial engine does not do and are never counted in
+    ``transitions_executed``.
+    """
 
     def __init__(self):
         self.violations: list[Violation] = []
@@ -79,6 +90,22 @@ class SearchResult:
         self.discover_stats_runs = 0
         self.wall_time = 0.0
         self.terminated = "exhausted"
+        #: How the search ran: "serial", "local-fork", "local-spawn",
+        #: "socket".
+        self.engine = "serial"
+        #: Worker processes actually used (0 for serial).
+        self.workers = 0
+        #: Per-worker replay-cache counters, summed across workers.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Restoration overhead: transitions re-executed to restore parent
+        #: states, and to rebuild siblings from a restored parent.
+        self.replayed_transitions = 0
+        self.rebuilt_transitions = 0
+        #: Scheduler routing: groups that ran on the worker whose cache
+        #: holds their parent trace vs. groups routed elsewhere.
+        self.affinity_hits = 0
+        self.affinity_misses = 0
 
     @property
     def found_violation(self) -> bool:
@@ -86,6 +113,8 @@ class SearchResult:
 
     def summary(self) -> str:
         lines = [
+            f"engine               : {self.engine}"
+            + (f" ({self.workers} workers)" if self.workers else ""),
             f"transitions executed : {self.transitions_executed}",
             f"unique states        : {self.unique_states}",
             f"revisited states     : {self.revisited_states}",
@@ -96,14 +125,26 @@ class SearchResult:
             f"terminated           : {self.terminated}",
             f"violations           : {len(self.violations)}",
         ]
+        if self.workers:
+            lines.insert(-1, (
+                f"restoration          : {self.replayed_transitions} replayed"
+                f" + {self.rebuilt_transitions} rebuilt"
+                f" (cache {self.cache_hits} hits / {self.cache_misses} misses,"
+                f" affinity {self.affinity_hits}/"
+                f"{self.affinity_hits + self.affinity_misses})"
+            ))
         for violation in self.violations[:5]:
             lines.append(f"  - {violation.property_name}: {violation.message}")
         return "\n".join(lines)
 
     def __repr__(self):
-        return (f"SearchResult(transitions={self.transitions_executed},"
+        return (f"SearchStats(transitions={self.transitions_executed},"
                 f" unique={self.unique_states},"
                 f" violations={len(self.violations)})")
+
+
+#: Backwards-compatible alias — PR 1 shipped the class as ``SearchResult``.
+SearchResult = SearchStats
 
 
 class Searcher:
@@ -133,8 +174,8 @@ class Searcher:
     # Main loop
     # ------------------------------------------------------------------
 
-    def run(self) -> SearchResult:
-        result = SearchResult()
+    def run(self) -> SearchStats:
+        result = SearchStats()
         start = time.perf_counter()
         initial = self.system_factory()
         self._initial = initial
@@ -214,7 +255,7 @@ class Searcher:
     # ------------------------------------------------------------------
 
     def _enabled(self, system: System, strategy: Strategy,
-                 result: SearchResult) -> list[Transition]:
+                 result: SearchStats) -> list[Transition]:
         enabled = system.enabled_transitions()
         if self._use_se:
             enabled = self._add_symbolic_sends(system, enabled, result)

@@ -1,0 +1,129 @@
+"""Pluggable transports for the parallel search scheduler.
+
+A transport owns the worker lifecycle and message movement; the scheduler
+(`repro/mc/scheduler.py`) never sees processes or sockets, only
+``submit(worker_id, task)`` / ``recv()``.  Two implementations ship:
+
+* :class:`~repro.mc.transport.local.LocalTransport` — worker child
+  processes on this machine, ``fork`` or ``spawn`` start method;
+* :class:`~repro.mc.transport.socket.SocketTransport` — TCP workers
+  started with ``nice worker`` (on this or other machines).
+
+:func:`create_transport` picks one from the config and *warns* — never
+silently falls back — when a ``workers>0`` request cannot be honored as
+asked (satellite of ISSUE 2): an unavailable start method, or a scenario
+that is not registry-reconstructable and therefore cannot cross a spawn or
+socket boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+
+from repro.config import (
+    START_METHOD_FORK,
+    START_METHOD_SPAWN,
+    TRANSPORT_SOCKET,
+)
+from repro.mc.wire import spec_is_portable
+
+
+class TransportError(RuntimeError):
+    """A transport could not start or lost its workers mid-search."""
+
+
+class Transport:
+    """Scheduler-facing interface; see module docstring."""
+
+    #: Human-readable engine name surfaced in SearchStats ("local-fork",
+    #: "local-spawn", "socket").
+    name = "transport"
+
+    def __init__(self, workers: int):
+        self.workers = workers
+
+    def start(self, searcher) -> None:
+        """Bring up ``self.workers`` workers, ready for tasks."""
+        raise NotImplementedError
+
+    def submit(self, worker_id: int, task) -> None:
+        """Send an :class:`~repro.mc.wire.ExpandTask` to one worker."""
+        raise NotImplementedError
+
+    def recv(self):
+        """Block until any worker returns a TaskResult or WorkerError."""
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Tear the workers down; safe to call with tasks in flight."""
+        raise NotImplementedError
+
+
+def _warn(message: str) -> None:
+    warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+
+def create_transport(config, spec) -> Transport | None:
+    """Build the configured transport, or return None (with a visible
+    RuntimeWarning) when the request cannot be honored and serial search
+    is the only remaining option."""
+    from repro.mc.transport.local import LocalTransport
+    from repro.mc.transport.socket import SocketTransport
+
+    portable = spec_is_portable(spec)
+    if config.transport == TRANSPORT_SOCKET:
+        if not portable:
+            _warn(
+                "workers>0 with transport='socket' needs a registry"
+                " scenario (socket workers rebuild the System by name);"
+                " this scenario has no portable spec — falling back to the"
+                " local transport"
+            )
+        else:
+            return SocketTransport(config.workers, config.worker_address,
+                                   spec, config.spawn_socket_workers)
+
+    fork_ok = "fork" in multiprocessing.get_all_start_methods()
+    method = config.start_method
+    if method is None:
+        method = (START_METHOD_FORK if fork_ok
+                  else START_METHOD_SPAWN if portable else None)
+        if method is None:
+            _warn(
+                "workers>0 cannot be honored: the platform has no 'fork'"
+                " start method and this scenario has no portable spec for"
+                " 'spawn' workers — running the serial engine instead"
+            )
+            return None
+    elif method == START_METHOD_FORK and not fork_ok:
+        if portable:
+            _warn(
+                "start_method='fork' is unavailable on this platform —"
+                " using 'spawn' workers instead"
+            )
+            method = START_METHOD_SPAWN
+        else:
+            _warn(
+                "workers>0 cannot be honored: 'fork' is unavailable and"
+                " this scenario has no portable spec for 'spawn' workers —"
+                " running the serial engine instead"
+            )
+            return None
+    elif method == START_METHOD_SPAWN and not portable:
+        if fork_ok:
+            _warn(
+                "start_method='spawn' needs a registry scenario (spawned"
+                " workers rebuild the System by name); this scenario has"
+                " no portable spec — using 'fork' workers instead"
+            )
+            method = START_METHOD_FORK
+        else:
+            _warn(
+                "workers>0 cannot be honored: 'spawn' needs a registry"
+                " scenario and 'fork' is unavailable — running the serial"
+                " engine instead"
+            )
+            return None
+    return LocalTransport(config.workers, method,
+                          spec if method == START_METHOD_SPAWN else None)

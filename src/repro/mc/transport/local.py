@@ -1,0 +1,110 @@
+"""In-process-pool transport: worker child processes on this machine.
+
+Unlike PR 1's ``ProcessPoolExecutor`` pool, every worker has its *own*
+task queue, because affinity scheduling must address a specific worker —
+the one whose replay LRU holds a group's parent trace.  A single shared
+result queue carries completions back.
+
+Two start methods:
+
+* ``fork`` — workers inherit the live searcher (scenario closures
+  included) by copy-on-write via ``repro.mc.worker._INHERITED_SEARCHER``,
+  exactly like PR 1's pool;
+* ``spawn`` — workers start from a fresh interpreter and rebuild the
+  searcher from the pickled :class:`~repro.mc.wire.ScenarioSpec`, which is
+  what makes parallel search work on platforms without ``fork`` and what
+  the socket transport reuses for remote workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+
+from repro.mc import worker as worker_mod
+from repro.mc.transport import Transport, TransportError
+from repro.mc.wire import ExpandTask, Shutdown, WorkerError
+from repro.mc.worker import local_worker_main
+
+
+class LocalTransport(Transport):
+    """``workers`` child processes, one task queue each."""
+
+    #: Seconds to wait for a clean worker exit before terminating it.
+    JOIN_TIMEOUT = 5.0
+
+    def __init__(self, workers: int, start_method: str, spec):
+        super().__init__(workers)
+        self.name = f"local-{start_method}"
+        self.start_method = start_method
+        self.spec = spec
+        self._processes: list = []
+        self._task_queues: list = []
+        self._result_queue = None
+
+    def start(self, searcher) -> None:
+        context = multiprocessing.get_context(self.start_method)
+        # A real Queue (not SimpleQueue): recv() needs a timeout so a
+        # worker that dies without reporting never hangs the master.
+        self._result_queue = context.Queue()
+        inherit = self.spec is None
+        if inherit:
+            worker_mod._INHERITED_SEARCHER = searcher
+        try:
+            for worker_id in range(self.workers):
+                task_queue = context.SimpleQueue()
+                process = context.Process(
+                    target=local_worker_main,
+                    args=(worker_id, task_queue, self._result_queue,
+                          self.spec),
+                    daemon=True,
+                )
+                process.start()
+                self._task_queues.append(task_queue)
+                self._processes.append(process)
+        finally:
+            if inherit:
+                worker_mod._INHERITED_SEARCHER = None
+
+    def submit(self, worker_id: int, task: ExpandTask) -> None:
+        self._task_queues[worker_id].put(task)
+
+    def recv(self):
+        while True:
+            try:
+                result = self._result_queue.get(timeout=1.0)
+                break
+            except queue_mod.Empty:
+                dead = [(i, p.exitcode) for i, p in
+                        enumerate(self._processes) if not p.is_alive()]
+                if dead:
+                    raise TransportError(
+                        f"worker process(es) died without reporting:"
+                        f" {dead} (id, exit code)") from None
+        if isinstance(result, WorkerError) and result.task_id is None:
+            raise TransportError(
+                f"worker {result.worker_id} failed to start:\n{result.error}")
+        return result
+
+    def stop(self) -> None:
+        for queue, process in zip(self._task_queues, self._processes):
+            if process.is_alive():
+                try:
+                    queue.put(Shutdown())
+                except (OSError, ValueError):
+                    pass
+        for process in self._processes:
+            process.join(timeout=self.JOIN_TIMEOUT)
+            if process.is_alive():
+                # A worker mid-task can block writing a large result to the
+                # shared pipe once the master stops reading; it holds no
+                # state the master needs, so cut it loose.
+                process.terminate()
+                process.join(timeout=self.JOIN_TIMEOUT)
+        for queue in self._task_queues:
+            queue.close()
+        if self._result_queue is not None:
+            self._result_queue.cancel_join_thread()
+            self._result_queue.close()
+        self._processes.clear()
+        self._task_queues.clear()

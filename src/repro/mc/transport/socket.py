@@ -1,0 +1,263 @@
+"""TCP transport: the VPKIaaS-style scale-out (PAPERS.md).
+
+The master listens on ``NiceConfig.worker_address`` and waits for
+``workers`` connections.  Each worker — a ``nice worker --connect
+HOST:PORT`` process, on this machine or another — sends a
+:class:`~repro.mc.wire.Hello`, receives an
+:class:`~repro.mc.wire.InitWorker` carrying the
+:class:`~repro.mc.wire.ScenarioSpec`, rebuilds the System by registry
+name, and then serves :class:`~repro.mc.wire.ExpandTask` messages.
+
+By default (``spawn_socket_workers=True``) the transport launches the
+worker subprocesses itself, pointed at its own ephemeral port, so
+``nice run --transport socket`` works with zero setup; with it off, the
+master only listens, and the operator starts workers wherever there are
+cores.  A reader thread per connection funnels results into one queue;
+a dropped connection surfaces as a :class:`TransportError`, never a hang.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import queue
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+from time import monotonic as _monotonic
+
+import repro
+from repro.mc.transport import Transport, TransportError
+from repro.mc.wire import (
+    PROTOCOL_VERSION,
+    ExpandTask,
+    Hello,
+    InitWorker,
+    Shutdown,
+    WorkerError,
+    recv_msg,
+    send_msg,
+)
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``host:port`` -> (host, port); a bare port means localhost."""
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", address
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise ValueError(
+            f"bad worker address {address!r}; expected host:port") from None
+
+
+class SocketTransport(Transport):
+    """Master side of the TCP worker protocol."""
+
+    #: Seconds to wait for all workers to connect before giving up.
+    ACCEPT_TIMEOUT = 60.0
+
+    def __init__(self, workers: int, address: str, spec,
+                 spawn_workers: bool = True):
+        super().__init__(workers)
+        self.name = "socket"
+        self.address = address
+        self.spec = spec
+        self.spawn_workers = spawn_workers
+        self._listener: socket.socket | None = None
+        self._connections: list[socket.socket] = []
+        self._subprocesses: list[subprocess.Popen] = []
+        self._stderr_logs: list = []
+        self._threads: list[threading.Thread] = []
+        self._results: queue.Queue = queue.Queue()
+        #: The bound (host, port), with the real port once listening.
+        self.bound: tuple[str, int] | None = None
+
+    #: Seconds a freshly accepted connection gets to complete the Hello
+    #: handshake before being dropped (a port scanner or hung peer must
+    #: not stall the master).
+    HANDSHAKE_TIMEOUT = 10.0
+
+    def start(self, searcher) -> None:
+        host, port = parse_address(self.address)
+        self._listener = socket.create_server((host, port), backlog=self.workers)
+        # Short per-accept timeout so worker subprocesses that die before
+        # connecting are noticed immediately instead of after the deadline.
+        self._listener.settimeout(1.0)
+        self.bound = self._listener.getsockname()[:2]
+        if self.spawn_workers:
+            self._spawn_local_workers()
+        else:
+            # The operator must be able to aim `nice worker` somewhere —
+            # with the default ephemeral port only we know the number.
+            print(f"socket transport listening on "
+                  f"{self.bound[0]}:{self.bound[1]} — waiting for "
+                  f"{self.workers} x `nice worker --connect "
+                  f"{self.bound[0]}:{self.bound[1]}`",
+                  file=sys.stderr, flush=True)
+        deadline = _monotonic() + self.ACCEPT_TIMEOUT
+        while len(self._connections) < self.workers:
+            if _monotonic() > deadline:
+                raise TransportError(
+                    f"only {len(self._connections)}/{self.workers}"
+                    f" workers connected to"
+                    f" {self.bound[0]}:{self.bound[1]} within"
+                    f" {self.ACCEPT_TIMEOUT:.0f}s")
+            try:
+                connection, _ = self._listener.accept()
+            except TimeoutError:
+                self._check_spawned_alive()
+                continue
+            if self._handshake(connection, len(self._connections)):
+                self._connections.append(connection)
+        for worker_id, connection in enumerate(self._connections):
+            thread = threading.Thread(
+                target=self._reader, args=(worker_id, connection),
+                daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _spawn_local_workers(self) -> None:
+        """Launch ``workers`` `nice worker` subprocesses aimed at us."""
+        host, port = self.bound
+        env = dict(os.environ)
+        # Make `repro` importable in the child even when running from a
+        # src layout without an installed package.
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p)
+        command = [sys.executable, "-m", "repro.cli", "worker",
+                   "--connect", f"{host}:{port}"]
+        for _ in range(self.workers):
+            # stderr goes to an unbuffered temp file, not a PIPE: nobody
+            # drains a pipe during the search, so a chatty worker would
+            # block on a full pipe buffer and stall its tasks.
+            log = tempfile.TemporaryFile()
+            self._stderr_logs.append(log)
+            self._subprocesses.append(
+                subprocess.Popen(command, env=env,
+                                 stdout=subprocess.DEVNULL, stderr=log))
+
+    def _read_stderr(self, index: int) -> str:
+        log = self._stderr_logs[index]
+        log.seek(0)
+        return log.read().decode(errors="replace")
+
+    def _handshake(self, connection: socket.socket, worker_id: int) -> bool:
+        """Hello/Init exchange on a fresh connection; drops peers that stay
+        silent or speak garbage instead of hanging or aborting the run.
+        Accepted sockets do not inherit the listener's timeout, so one is
+        set for the handshake and cleared for the streaming phase."""
+        connection.settimeout(self.HANDSHAKE_TIMEOUT)
+        try:
+            hello = recv_msg(connection)
+            if not isinstance(hello, Hello) \
+                    or hello.protocol != PROTOCOL_VERSION:
+                raise ConnectionError(
+                    f"bad handshake: {hello!r} (master speaks protocol"
+                    f" {PROTOCOL_VERSION})")
+            send_msg(connection, InitWorker(self.spec, worker_id))
+        except Exception as exc:  # noqa: BLE001 - any failure drops the peer
+            print(f"dropping connection that failed the worker handshake:"
+                  f" {exc}", file=sys.stderr, flush=True)
+            connection.close()
+            return False
+        connection.settimeout(None)
+        return True
+
+    def _check_spawned_alive(self) -> None:
+        for index, process in enumerate(self._subprocesses):
+            if process.poll() is not None:
+                raise TransportError(
+                    f"spawned socket worker {index} exited with code"
+                    f" {process.returncode} before connecting:\n"
+                    f"{self._read_stderr(index)}")
+
+    def _reader(self, worker_id: int, connection: socket.socket) -> None:
+        # Any reader exit — clean FIN from a dying worker, a mid-frame
+        # reset, an unpicklable frame from a mismatched worker — must
+        # surface as a WorkerError, never a silent recv() hang on the
+        # master.  During stop() the master closes the sockets itself and
+        # no longer reads the queue, so the spurious entry is harmless.
+        try:
+            while True:
+                message = recv_msg(connection)
+                if message is None or isinstance(message, Shutdown):
+                    self._results.put(
+                        WorkerError(None, worker_id,
+                                    "worker closed the connection"))
+                    return
+                self._results.put(message)
+        except Exception as exc:  # noqa: BLE001 - see above
+            self._results.put(
+                WorkerError(None, worker_id, f"connection lost: {exc!r}"))
+
+    def submit(self, worker_id: int, task: ExpandTask) -> None:
+        try:
+            send_msg(self._connections[worker_id], task)
+        except OSError as exc:
+            raise TransportError(
+                f"socket worker {worker_id} connection lost while"
+                f" submitting task {task.task_id}: {exc}") from exc
+
+    def recv(self):
+        result = self._results.get()
+        if isinstance(result, WorkerError) and result.task_id is None:
+            detail = result.error
+            # Worker ids are assigned in *accept* order, which need not
+            # match spawn order — report every exited subprocess's stderr
+            # instead of guessing which one backed this worker id.
+            for index, process in enumerate(self._subprocesses):
+                if process.poll() is not None:
+                    stderr = self._read_stderr(index)
+                    if stderr:
+                        detail += (f"\nstderr of exited worker subprocess"
+                                   f" {index}:\n{stderr}")
+            raise TransportError(
+                f"socket worker {result.worker_id} failed:\n{detail}")
+        return result
+
+    def stop(self) -> None:
+        for connection in self._connections:
+            try:
+                send_msg(connection, Shutdown())
+            except OSError:
+                pass
+        for connection in self._connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            connection.close()
+        if self._listener is not None:
+            self._listener.close()
+        for process in self._subprocesses:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        for log in self._stderr_logs:
+            log.close()
+        self._connections.clear()
+        self._subprocesses.clear()
+        self._stderr_logs.clear()
+
+
+def run_worker(address: str) -> int:
+    """Client side: connect to a master and serve tasks (``nice worker``)."""
+    from repro.mc.worker import socket_worker_loop
+
+    host, port = parse_address(address)
+    try:
+        connection = socket.create_connection((host, port))
+    except OSError as exc:
+        print(f"nice worker: cannot reach a master at {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 1
+    with connection:
+        socket_worker_loop(connection)
+    return 0

@@ -1,0 +1,191 @@
+"""Wire format for the parallel search (DESIGN.md, "Scheduler and
+transports").
+
+Everything a worker exchanges with the scheduler is defined here, so the
+``fork``/``spawn`` local pools and the TCP socket transport speak one
+protocol:
+
+* :class:`ScenarioSpec` — a *by-name* description of a scenario (registry
+  name, builder keyword arguments, final :class:`~repro.config.NiceConfig`)
+  that a worker in a fresh interpreter resolves through the scenario
+  registry (``repro/scenarios.py``) instead of inheriting unpicklable
+  closures from a forked parent;
+* task/result messages — :class:`Hello`, :class:`InitWorker`,
+  :class:`ExpandTask`, :class:`TaskResult`, :class:`WorkerError`,
+  :class:`Shutdown`;
+* length-prefixed pickle framing (:func:`send_msg` / :func:`recv_msg`) for
+  the socket transport.  Pickle is the serializer because tasks and results
+  are trees of pure-data model objects (:class:`~repro.mc.transitions.Transition`,
+  packets, stats dicts) already required to be picklable by the spawn pool;
+  the trust model is the same as ``multiprocessing``'s — workers are
+  processes *you* started on hosts you control, not an open service.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass, field
+
+from repro.config import NiceConfig
+
+#: Bump when the task/result layout changes; Hello carries it so a stale
+#: remote worker fails fast instead of mis-decoding tasks.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct("!I")
+
+
+# ----------------------------------------------------------------------
+# Scenario specs: rebuild a System by name in a fresh interpreter
+# ----------------------------------------------------------------------
+
+@dataclass
+class ScenarioSpec:
+    """A scenario by registry name + builder kwargs + final config.
+
+    ``kwargs`` are the keyword arguments the builder was originally called
+    with; ``config`` is the scenario's *final* config (builders adjust
+    bounds), applied verbatim after rebuilding so master and workers agree
+    on every knob.
+    """
+
+    name: str
+    kwargs: dict = field(default_factory=dict)
+    config: NiceConfig = field(default_factory=NiceConfig)
+
+    def build(self):
+        """Resolve the registry and rebuild the scenario."""
+        from repro import scenarios  # deferred: scenarios imports this module
+
+        builder = scenarios.REGISTRY.get(self.name)
+        if builder is None:
+            raise KeyError(
+                f"scenario {self.name!r} is not in the registry; known:"
+                f" {sorted(scenarios.REGISTRY)}"
+            )
+        scenario = builder(**self.kwargs)
+        scenario.config = self.config
+        scenario.spec = self
+        return scenario
+
+
+def spec_is_portable(spec: ScenarioSpec | None) -> bool:
+    """Whether ``spec`` can cross a process boundary: present and
+    picklable (a builder kwarg that is a lambda/closure is not)."""
+    if spec is None:
+        return False
+    try:
+        pickle.dumps(spec)
+    except Exception:  # noqa: BLE001 - any pickling failure disqualifies
+        return False
+    return True
+
+
+def searcher_from_spec(spec: ScenarioSpec):
+    """A *serial* :class:`~repro.mc.search.Searcher` for worker-side
+    expansion — workers never recurse into the parallel engine."""
+    from repro.mc.search import Searcher
+    from repro.mc.strategies import make_strategy
+
+    scenario = spec.build()
+    config = scenario.config
+    discoverer = None
+    if config.use_symbolic_execution:
+        from repro.sym.engine import ConcolicEngine
+
+        discoverer = ConcolicEngine(max_paths=config.max_paths)
+    return Searcher(
+        scenario.system_factory, scenario.properties, config,
+        strategy=make_strategy(config, scenario.app_factory()),
+        discoverer=discoverer,
+    )
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+
+@dataclass
+class Hello:
+    """Worker -> master, first message after connecting."""
+
+    protocol: int = PROTOCOL_VERSION
+
+
+@dataclass
+class InitWorker:
+    """Master -> worker: build your scenario and await tasks."""
+
+    spec: ScenarioSpec
+    worker_id: int = 0
+
+
+@dataclass
+class ExpandTask:
+    """Master -> worker: expand these sibling groups.
+
+    ``groups`` is a list of ``(parent trace, [transition, ...] | None)``
+    pairs — ``None`` marks the initial-state group.
+    """
+
+    task_id: int
+    groups: list
+
+
+@dataclass
+class TaskResult:
+    """Worker -> master: the expansion of one :class:`ExpandTask`."""
+
+    task_id: int
+    worker_id: int
+    out: dict
+
+
+@dataclass
+class WorkerError:
+    """Worker -> master: the task raised; carries the formatted traceback."""
+
+    task_id: int | None
+    worker_id: int
+    error: str
+
+
+@dataclass
+class Shutdown:
+    """Master -> worker: exit cleanly."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def send_msg(sock, message) -> None:
+    """Write one length-prefixed pickled message to a socket."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_msg(sock):
+    """Read one framed message; returns None on clean EOF at a frame
+    boundary."""
+    header = _recv_exact(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _recv_exact(sock, count: int, allow_eof: bool = False):
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ConnectionError(
+                f"socket closed mid-frame ({count - remaining}/{count} bytes)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

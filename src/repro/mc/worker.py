@@ -1,0 +1,277 @@
+"""Worker-side runtime of the parallel search.
+
+A worker — forked, spawned, or connected over TCP — runs the same code:
+build a :class:`WorkerRuntime`, then expand :class:`~repro.mc.wire.ExpandTask`
+sibling groups until told to stop.  Expansion mirrors the serial loop's
+per-node work exactly (enumerate enabled transitions, one clone + execute +
+property check per child, hash); only *restoration* work (parent replay,
+sibling rebuild) is extra, and none of it is counted in the transition
+totals.
+
+Restoration cost is amortized by an LRU cache of node systems keyed by
+trace (``NiceConfig.worker_cache_size`` entries): restoring a group clones
+the longest cached ancestor and replays only the missing suffix, and long
+replays snapshot a spine of intermediates back into the cache
+(:func:`~repro.mc.replay.replay_with_spine`).  The cache is also what the
+scheduler's affinity routing exploits — a child group sent to the worker
+that expanded its parent finds the parent trace cached and replays a
+one-transition suffix.  ``cache_hits`` / ``cache_misses`` count ancestor
+restorations vs. full replays from the initial state and are reported to
+the master with every result.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections import OrderedDict
+
+from repro.errors import PropertyViolation
+from repro.mc.replay import replay_with_spine
+from repro.mc.strategies import make_strategy
+from repro.mc.wire import (
+    ExpandTask,
+    Hello,
+    InitWorker,
+    Shutdown,
+    TaskResult,
+    WorkerError,
+    recv_msg,
+    searcher_from_spec,
+    send_msg,
+)
+
+#: Set by the fork local transport in the parent just before forking, so
+#: workers inherit the live searcher (closures included) by copy-on-write.
+#: Spawned and socket workers rebuild theirs from a ScenarioSpec instead.
+_INHERITED_SEARCHER = None
+
+
+class WorkerRuntime:
+    """Everything one worker process needs, built once per process."""
+
+    #: Snapshot stride while replaying long suffixes.
+    SPINE = 8
+
+    def __init__(self, searcher):
+        self.searcher = searcher
+        self.config = searcher.config
+        self.max_cache = self.config.worker_cache_size
+        self.initial = searcher.system_factory()
+        self.strategy = (searcher._strategy
+                         or make_strategy(self.config, self.initial.app))
+        self.properties = searcher.properties
+        for prop in self.properties:
+            prop.reset(self.initial)
+        #: trace -> System at that trace.  Entries are never mutated (they
+        #: only serve as clone sources), so cache hits are safe to reuse.
+        #: The initial state lives in ``self.initial``, not here, so
+        #: eviction never has to special-case it.
+        self.cache: OrderedDict[tuple, object] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Restoration
+    # ------------------------------------------------------------------
+
+    def base_for(self, trace, out):
+        """System at ``trace``: clone the longest cached ancestor and replay
+        the missing suffix (full replay from the initial state at worst)."""
+        for k in range(len(trace), -1, -1):
+            system = self.cache.get(trace[:k])
+            if system is None:
+                continue
+            self.cache.move_to_end(trace[:k])
+            # A hit means the cache saved replay work: an exact or proper-
+            # ancestor entry.  Restoring a non-root trace from the cached
+            # root entry () is a full replay — a miss, same as falling
+            # through to ``self.initial`` below.
+            if len(trace) > 0:
+                if k > 0:
+                    out["cache_hits"] += 1
+                else:
+                    out["cache_misses"] += 1
+            if k == len(trace):
+                return system
+            out["replayed"] += len(trace) - k
+            return self._replay(system.clone(), trace, k)
+        if len(trace) > 0:
+            out["cache_misses"] += 1
+        out["replayed"] += len(trace)
+        return self._replay(self.initial.clone(), trace, 0)
+
+    def _replay(self, system, trace, k):
+        return replay_with_spine(system, trace, k, self.strategy,
+                                 snapshot=self.remember, stride=self.SPINE)
+
+    def remember(self, trace, system) -> None:
+        self.cache[trace] = system
+        if len(self.cache) > self.max_cache:
+            self.cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+
+    def expand(self, groups) -> dict:
+        """Expand every node of every sibling group, one clone per child.
+
+        Nodes are referenced back to the master as
+        ``(group index, sibling index | None)`` so only transitions and
+        digests cross the process boundary, never System objects.
+        """
+        searcher = self.searcher
+        config = self.config
+        stats_sink = _StatsSink()  # scratch counter sink for _enabled()
+        out = {
+            "children": [],     # (gi, si, [(transition, digest), ...])
+            "quiescent": 0,
+            "violations": [],   # (property, message, hash, gi, si, transition)
+            "transitions": 0,
+            "replayed": 0,      # restoration transitions (not in totals)
+            "rebuilt": 0,       # sibling-rebuild transitions (ditto)
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+        for gi, (trace, steps) in enumerate(groups):
+            base = self.base_for(trace, out)
+            if steps is None:       # the initial-state group
+                nodes = [(base, trace, None)]
+            else:
+                nodes = []
+                for si, step in enumerate(steps):
+                    system = base.clone()
+                    system.execute(step)
+                    self.strategy.post_execute(system, step)
+                    out["rebuilt"] += 1
+                    nodes.append((system, trace + (step,), si))
+            for system, node_trace, si in nodes:
+                self.remember(node_trace, system)
+                enabled = searcher._enabled(system, self.strategy, stats_sink)
+                if not enabled:
+                    out["quiescent"] += 1
+                    self._check(
+                        "check_quiescent", system, gi, si, None, out)
+                    if config.stop_at_first_violation and out["violations"]:
+                        return self._finish(out, stats_sink)
+                    continue
+                if (config.max_depth is not None
+                        and len(node_trace) >= config.max_depth):
+                    continue
+                kids = []
+                for transition in enabled:
+                    child = system.clone()
+                    child.execute(transition)
+                    self.strategy.post_execute(child, transition)
+                    out["transitions"] += 1
+                    self._check("check", child, gi, si, transition, out)
+                    if config.stop_at_first_violation and out["violations"]:
+                        return self._finish(out, stats_sink)
+                    # The digest feeds the master's explored-set dedup;
+                    # without state matching it would be discarded (the
+                    # serial loop skips hashing there too).
+                    kids.append((transition,
+                                 child.state_hash() if config.state_matching
+                                 else None))
+                out["children"].append((gi, si, kids))
+        return self._finish(out, stats_sink)
+
+    @staticmethod
+    def _finish(out, stats_sink) -> dict:
+        out["discover_packet_runs"] = stats_sink.discover_packet_runs
+        out["discover_stats_runs"] = stats_sink.discover_stats_runs
+        return out
+
+    def _check(self, method, system, gi, si, transition, out) -> None:
+        """Run every property, appending violations as picklable tuples."""
+        for prop in self.properties:
+            try:
+                if method == "check":
+                    prop.check(system, transition)
+                else:
+                    prop.check_quiescent(system)
+            except PropertyViolation as violation:
+                out["violations"].append(
+                    (violation.property_name, violation.message,
+                     system.state_hash(), gi, si, transition)
+                )
+
+
+class _StatsSink:
+    """Just the counters ``Searcher._enabled`` increments."""
+
+    def __init__(self):
+        self.discover_packet_runs = 0
+        self.discover_stats_runs = 0
+
+
+# ----------------------------------------------------------------------
+# Process entry points
+# ----------------------------------------------------------------------
+
+def local_worker_main(worker_id: int, task_queue, result_queue, spec) -> None:
+    """Entry point of a local-transport worker process.
+
+    ``spec`` is None under ``fork`` (the searcher is inherited via
+    :data:`_INHERITED_SEARCHER`); under ``spawn`` it is the pickled
+    :class:`~repro.mc.wire.ScenarioSpec` to rebuild from.
+    """
+    try:
+        searcher = (_INHERITED_SEARCHER if spec is None
+                    else searcher_from_spec(spec))
+        runtime = WorkerRuntime(searcher)
+    except Exception:  # noqa: BLE001 - report startup failure to the master
+        result_queue.put(WorkerError(None, worker_id, traceback.format_exc()))
+        return
+    while True:
+        message = task_queue.get()
+        if message is None or isinstance(message, Shutdown):
+            return
+        try:
+            out = runtime.expand(message.groups)
+            result_queue.put(TaskResult(message.task_id, worker_id, out))
+        except Exception:  # noqa: BLE001 - surface the traceback
+            result_queue.put(
+                WorkerError(message.task_id, worker_id,
+                            traceback.format_exc()))
+
+
+#: Seconds a connecting worker waits for the master's InitWorker reply —
+#: pointed at a non-master port (an HTTP server, say) it must error out,
+#: not hang forever on a frame header that never arrives.
+INIT_TIMEOUT = 30.0
+
+
+def socket_worker_loop(sock) -> None:
+    """Serve one master over a connected socket until Shutdown/EOF."""
+    sock.settimeout(INIT_TIMEOUT)
+    send_msg(sock, Hello())
+    init = recv_msg(sock)
+    if not isinstance(init, InitWorker):
+        raise ConnectionError(f"expected InitWorker, got {init!r}")
+    sock.settimeout(None)
+    worker_id = init.worker_id
+    try:
+        runtime = WorkerRuntime(searcher_from_spec(init.spec))
+    except Exception:  # noqa: BLE001 - report startup failure to the master
+        send_msg(sock, WorkerError(None, worker_id, traceback.format_exc()))
+        return
+    while True:
+        try:
+            message = recv_msg(sock)
+        except (OSError, ConnectionError):
+            return  # master hung up (early stop) — a clean shutdown
+        if message is None or isinstance(message, Shutdown):
+            return
+        if not isinstance(message, ExpandTask):
+            raise ConnectionError(f"unexpected message {message!r}")
+        try:
+            out = runtime.expand(message.groups)
+            reply = TaskResult(message.task_id, worker_id, out)
+        except Exception:  # noqa: BLE001 - surface the traceback
+            reply = WorkerError(message.task_id, worker_id,
+                                traceback.format_exc())
+        try:
+            send_msg(sock, reply)
+        except (OSError, ConnectionError):
+            # The master stopped reading mid-task (first violation found,
+            # transition cap hit): its search is over, so are we.
+            return

@@ -13,7 +13,7 @@ True
 from __future__ import annotations
 
 from repro.config import NiceConfig
-from repro.mc.parallel import ParallelSearcher
+from repro.mc.scheduler import ParallelSearcher
 from repro.mc.search import Searcher, SearchResult
 from repro.mc.strategies import make_strategy
 from repro.mc.system import System
@@ -26,16 +26,25 @@ class Scenario:
     ``app_factory`` / ``hosts_factory`` are zero-argument callables building
     *fresh* instances, so searches and replays always start from identical
     initial states.
+
+    ``spec`` (set by the ``@registered`` builders in ``repro/scenarios.py``)
+    is the scenario's portable identity — a
+    :class:`~repro.mc.wire.ScenarioSpec` that spawn/socket workers use to
+    rebuild the initial :class:`System` by registry name.  Hand-built
+    scenarios have ``spec=None`` and can still search in parallel through
+    the ``fork`` transport, which inherits the factories.
     """
 
     def __init__(self, topo, app_factory, hosts_factory, properties,
-                 config: NiceConfig | None = None, name: str = "scenario"):
+                 config: NiceConfig | None = None, name: str = "scenario",
+                 spec=None):
         self.topo = topo
         self.app_factory = app_factory
         self.hosts_factory = hosts_factory
         self.properties = properties
         self.config = config or NiceConfig()
         self.name = name
+        self.spec = spec
 
     def system_factory(self) -> System:
         system = System(self.topo, self.app_factory(),
@@ -47,13 +56,16 @@ class Scenario:
         discoverer = None
         if self.config.use_symbolic_execution:
             discoverer = ConcolicEngine(max_paths=self.config.max_paths)
-        engine = ParallelSearcher if self.config.workers > 1 else Searcher
-        return engine(
-            self.system_factory,
-            self.properties,
-            self.config,
-            strategy=make_strategy(self.config, self.app_factory()),
-            discoverer=discoverer,
+        strategy = make_strategy(self.config, self.app_factory())
+        if self.config.workers > 1:
+            return ParallelSearcher(
+                self.system_factory, self.properties, self.config,
+                strategy=strategy, discoverer=discoverer,
+                scenario_spec=self.spec,
+            )
+        return Searcher(
+            self.system_factory, self.properties, self.config,
+            strategy=strategy, discoverer=discoverer,
         )
 
     def __repr__(self):
@@ -87,4 +99,6 @@ def random_walk(scenario: Scenario, steps: int = 100,
     walk = Scenario(scenario.topo, scenario.app_factory,
                     scenario.hosts_factory, scenario.properties, config,
                     name=f"{scenario.name}-walk")
+    if scenario.spec is not None:
+        walk.spec = dataclasses.replace(scenario.spec, config=config)
     return run(walk)

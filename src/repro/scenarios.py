@@ -15,6 +15,8 @@ corresponding paper experiment uses:
 from __future__ import annotations
 
 import dataclasses
+import functools
+import inspect
 
 from repro.apps.energy_te import EnergyTrafficEngineering, expected_path
 from repro.apps.loadbalancer import LoadBalancer, ReplicaSpec, VipServer
@@ -23,6 +25,7 @@ from repro.config import NiceConfig
 from repro.hosts.client import Client
 from repro.hosts.mobile import MobileHost
 from repro.hosts.ping import PingResponder
+from repro.mc.wire import ScenarioSpec
 from repro.nice import Scenario
 from repro.openflow.packet import (
     MacAddress,
@@ -42,6 +45,34 @@ from repro.properties import (
     UseCorrectRoutingTable,
 )
 
+#: The scenario registry: name -> builder.  Spawned and socket workers
+#: rebuild the initial :class:`~repro.mc.system.System` by looking the
+#: scenario up here from a shipped :class:`~repro.mc.wire.ScenarioSpec`
+#: instead of inheriting closures from a forked parent — closures do not
+#: survive pickling, registry names do.  ``nice list`` and the CLI's
+#: scenario choices are driven by this table too.
+REGISTRY: dict = {}
+
+
+def registered(name: str):
+    """Register a scenario builder and stamp everything it builds with a
+    portable :class:`~repro.mc.wire.ScenarioSpec` (name + call kwargs +
+    final config)."""
+    def decorate(builder):
+        signature = inspect.signature(builder)
+
+        @functools.wraps(builder)
+        def wrapper(*args, **kwargs):
+            scenario = builder(*args, **kwargs)
+            arguments = dict(signature.bind_partial(*args, **kwargs).arguments)
+            scenario.spec = ScenarioSpec(name, arguments, scenario.config)
+            return scenario
+
+        REGISTRY[name] = wrapper
+        return wrapper
+    return decorate
+
+
 def with_config(scenario: Scenario, **overrides) -> Scenario:
     """A copy of ``scenario`` with config fields replaced.
 
@@ -49,12 +80,17 @@ def with_config(scenario: Scenario, **overrides) -> Scenario:
     experiment — ``with_config(sc, workers=4)`` for the parallel searcher,
     ``with_config(sc, checkpoint_mode="trace")`` for trace-replay
     checkpointing, ``with_config(sc, fast_clone=False,
-    hash_memoization=False)`` for the seed-behavior baseline.
+    hash_memoization=False)`` for the seed-behavior baseline.  The
+    scenario's registry spec (if any) is carried over with the new config,
+    so derived variants stay shippable to spawn/socket workers.
     """
     config = dataclasses.replace(scenario.config, **overrides)
-    return Scenario(scenario.topo, scenario.app_factory,
-                    scenario.hosts_factory, scenario.properties, config,
-                    name=scenario.name)
+    derived = Scenario(scenario.topo, scenario.app_factory,
+                       scenario.hosts_factory, scenario.properties, config,
+                       name=scenario.name)
+    if scenario.spec is not None:
+        derived.spec = dataclasses.replace(scenario.spec, config=config)
+    return derived
 
 
 MAC_A = MacAddress.from_string("00:00:00:00:00:01")
@@ -78,6 +114,7 @@ def _figure1_topology():
     return topo
 
 
+@registered("ping")
 def ping_experiment(pings: int = 2, app_factory=None,
                     config: NiceConfig | None = None,
                     distinct_flows: bool = False,
@@ -151,6 +188,7 @@ def _ping_is_same_flow(packet_a, packet_b) -> bool:
 # PySwitch bug scenarios (Section 8.1)
 # ----------------------------------------------------------------------
 
+@registered("pyswitch-mobile")
 def pyswitch_mobile(app_factory=None,
                     config: NiceConfig | None = None) -> Scenario:
     """BUG-I: B moves while A keeps streaming; stale rule black-holes.
@@ -184,6 +222,7 @@ def pyswitch_mobile(app_factory=None,
                     [NoBlackHoles()], config, name="pyswitch-mobile")
 
 
+@registered("pyswitch-direct-path")
 def pyswitch_direct_path(app_factory=None,
                          config: NiceConfig | None = None) -> Scenario:
     """BUG-II: A->B then B->A exchange; third packet still hits the
@@ -222,6 +261,7 @@ def pyswitch_direct_path(app_factory=None,
                     name="pyswitch-direct-path")
 
 
+@registered("pyswitch-loop")
 def pyswitch_loop(app_factory=None,
                   config: NiceConfig | None = None) -> Scenario:
     """BUG-III: flooding on a three-switch cycle loops forever
@@ -283,6 +323,7 @@ def _lb_replicas() -> list[ReplicaSpec]:
             ReplicaSpec("R2", MAC_R2, IP_R2, 3)]
 
 
+@registered("loadbalancer")
 def loadbalancer_scenario(bug_iv: bool = True, bug_v: bool = True,
                           bug_vi: bool = True, bug_vii: bool = True,
                           properties=None, use_arp_script: bool = False,
@@ -377,6 +418,7 @@ def _te_tables():
     return always_on, on_demand
 
 
+@registered("energy-te")
 def energy_te_scenario(bug_viii: bool = True, bug_ix: bool = True,
                        bug_x: bool = True, bug_xi: bool = True,
                        properties=None, polls: int = 2,

@@ -1,10 +1,15 @@
 """Tests for the command-line front end."""
 
 import json
+import multiprocessing
 
 import pytest
 
 from repro.cli import build_parser, main
+
+requires_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="asserts the fork engine name in the output")
 
 
 class TestParser:
@@ -26,6 +31,26 @@ class TestParser:
             build_parser().parse_args(
                 ["run", "pyswitch-loop", "--strategy", "MAGIC"])
 
+    def test_transport_flags(self):
+        args = build_parser().parse_args(
+            ["run", "pyswitch-loop", "--workers", "2", "--transport",
+             "socket", "--listen", "127.0.0.1:7001", "--no-affinity"])
+        assert args.transport == "socket"
+        assert args.listen == "127.0.0.1:7001"
+        assert args.no_affinity
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "pyswitch-loop", "--transport", "smoke-signal"])
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+        args = build_parser().parse_args(
+            ["worker", "--connect", "10.0.0.1:7000"])
+        assert args.connect == "10.0.0.1:7000"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -46,6 +71,26 @@ class TestCommands:
         assert code == 1
         assert payload["violations"][0]["property"] == "NoForwardingLoops"
         assert payload["transitions"] > 0
+
+    def test_run_reports_serial_engine(self, capsys):
+        main(["run", "pyswitch-loop"])
+        out = capsys.readouterr().out
+        assert "engine               : serial" in out
+
+    @requires_fork
+    def test_run_workers_reports_parallel_engine(self, capsys):
+        code = main(["run", "pyswitch-loop", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "engine               : local-fork (2 workers)" in out
+        assert "restoration" in out
+
+    @requires_fork
+    def test_run_json_reports_engine(self, capsys):
+        main(["run", "pyswitch-loop", "--workers", "2", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "local-fork"
+        assert payload["workers"] == 2
 
     def test_run_with_trace(self, capsys):
         main(["run", "pyswitch-loop", "--trace"])
