@@ -64,22 +64,24 @@ class JpfSystem(System):
             getattr(self.api(), name)(*args, **kwargs)
             return
         if transition.kind == tk.CTRL_HANDLE:
-            switch = self._switch(transition.actor)
             # The buffering API bypasses the stamping wrapper, so invalidate
-            # the handled switch and controller state explicitly.
+            # the handled switch and controller state explicitly — and fetch
+            # the switch only afterwards (copy-on-write may replace it).
             self._dirty(("sw", transition.actor), "app", "ctrl")
+            switch = self._switch(transition.actor)
             ops: list = []
             self.runtime.handle_message(_BufferingAPI(ops), switch)
             self.pending_ops.extend(ops)
             return
         super().execute(transition)
 
-    def canonical_state(self):
-        ops = tuple(
+    def canonical_extra(self):
+        # Folded into the state hash in both hash modes (the digest
+        # combiner includes canonical_extra alongside the component tree).
+        return tuple(
             (name, repr(args), repr(sorted(kwargs.items())))
             for name, args, kwargs in self.pending_ops
         )
-        return super().canonical_state() + (ops,)
 
     def clone(self):
         new = super().clone()

@@ -26,9 +26,11 @@ import sys
 from repro import nice, scenarios
 from repro.config import (
     ALL_CHECKPOINT_MODES,
+    ALL_HASH_MODES,
     ALL_START_METHODS,
     ALL_STRATEGIES,
     ALL_TRANSPORTS,
+    HASH_DIGEST,
     NiceConfig,
 )
 from repro.mc.replay import format_trace
@@ -84,9 +86,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-hash-memoization", action="store_true",
                        help="recanonicalize the full state on every hash "
                             "(the seed behavior)")
+    run_p.add_argument("--hash-mode", choices=ALL_HASH_MODES,
+                       default=HASH_DIGEST,
+                       help="state hashing: combine cached per-component "
+                            "digests (digest) or render the whole canonical "
+                            "tuple per call (full, the pre-digest baseline)")
     run_p.add_argument("--no-fast-clone", action="store_true",
                        help="checkpoint with full deepcopy instead of "
                             "component-wise copies (the seed behavior)")
+    run_p.add_argument("--no-cow-clone", action="store_true",
+                       help="copy checkpoints eagerly instead of "
+                            "copy-on-write (the pre-CoW baseline)")
+    run_p.add_argument("--batch-groups", type=int,
+                       default=NiceConfig.batch_groups, metavar="N",
+                       help="parallel scheduler: max sibling groups per "
+                            "worker task")
+    run_p.add_argument("--batch-nodes", type=int,
+                       default=NiceConfig.batch_nodes, metavar="N",
+                       help="parallel scheduler: max total nodes per "
+                            "worker task")
     run_p.add_argument("--all-violations", action="store_true",
                        help="keep searching after the first violation")
     run_p.add_argument("--trace", action="store_true",
@@ -127,7 +145,11 @@ def make_config(args) -> NiceConfig:
         affinity=not args.no_affinity,
         checkpoint_mode=args.checkpoint_mode,
         hash_memoization=not args.no_hash_memoization,
+        hash_mode=args.hash_mode,
         fast_clone=not args.no_fast_clone,
+        cow_clone=not args.no_cow_clone,
+        batch_groups=args.batch_groups,
+        batch_nodes=args.batch_nodes,
     )
 
 
@@ -147,6 +169,8 @@ def cmd_run(args) -> int:
             ("--listen", args.listen == "127.0.0.1:0"),
             ("--external-workers", not args.external_workers),
             ("--no-affinity", not args.no_affinity),
+            ("--batch-groups", args.batch_groups == NiceConfig.batch_groups),
+            ("--batch-nodes", args.batch_nodes == NiceConfig.batch_nodes),
         ] if not is_default]
         if ignored:
             print(f"warning: {', '.join(ignored)} have no effect without"
@@ -163,6 +187,10 @@ def cmd_run(args) -> int:
             "transitions": result.transitions_executed,
             "unique_states": result.unique_states,
             "wall_time": result.wall_time,
+            "hash_hits": result.hash_hits,
+            "hash_misses": result.hash_misses,
+            "bytes_hashed": result.bytes_hashed,
+            "cow_copied": result.cow_copied,
             "violations": [
                 {"property": v.property_name, "message": v.message,
                  "trace_length": len(v.trace)}

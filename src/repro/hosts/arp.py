@@ -35,6 +35,14 @@ class ArpClient(Host):
         self.data_script: list[Packet] = list(script or [])
         self.script = [arp_request(mac, ip, target_ip)]
 
+    def clone(self, packet_memo: dict) -> "ArpClient":
+        """Unlike the base host, this client *appends* to ``script`` when
+        resolution completes (``on_receive``), so the list cannot stay
+        shared between checkpoint copies as the base clone leaves it."""
+        new = super().clone(packet_memo)
+        new.script = list(self.script)
+        return new
+
     def on_receive(self, packet: Packet) -> list[Packet]:
         if (packet.eth_type == ETH_TYPE_ARP and packet.arp_op == ARP_REPLY
                 and packet.ip_src == self.target_ip

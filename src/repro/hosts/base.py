@@ -60,9 +60,15 @@ class Host:
         Shallow-copies the instance — subclasses that only add scalar state
         (all the bundled ones) inherit this — then replaces the mutable
         containers.  ``script`` stays shared (templates are copied at send
-        time) and so do the ``received`` packets (immutable history);
-        ``inbox``/``pending`` packets are memo-copied because a send resets
-        the packet's identity fields in place.
+        time; a subclass that mutates its script must copy it, see
+        ``ArpClient.clone``) and so do the ``received`` packets (immutable
+        history); ``inbox``/``pending`` packets are memo-copied because a
+        send resets the packet's identity fields in place.
+
+        Under copy-on-write checkpointing the whole host stays shared
+        between parent and child until ``System._dirty`` materializes a
+        copy for whichever side mutates first — receive/send/move must
+        always go through the owning System's transitions.
         """
         new = copy.copy(self)
         new.inbox = [p.copy_memo(packet_memo) for p in self.inbox]

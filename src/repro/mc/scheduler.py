@@ -41,6 +41,7 @@ condition trips may have executed extra transitions.
 from __future__ import annotations
 
 import time
+from collections import deque
 
 from repro.config import ORDER_BFS, ORDER_DFS
 from repro.mc.search import Searcher, SearchStats, Violation, _StopSearch
@@ -76,10 +77,6 @@ class ParallelSearcher(Searcher):
 class _Scheduler:
     """One search run: a frontier of sibling groups routed to workers."""
 
-    #: Max sibling groups packed into one task.
-    MAX_GROUPS = 8
-    #: Max total nodes per task once the frontier is wide.
-    NODE_BUDGET = 16
     #: Tasks kept in flight per worker (>1 hides result latency).
     PER_WORKER_INFLIGHT = 2
 
@@ -93,8 +90,9 @@ class _Scheduler:
         self._affine = (self.config.affinity
                         and self.config.search_order == ORDER_DFS)
         #: owner worker id (or None) -> queue of (trace, steps) groups.
-        #: With affinity off everything lives under None.
-        self._queues: dict[int | None, list] = {None: []}
+        #: With affinity off everything lives under None.  Deques: BFS pops
+        #: the head and defers oversized groups back to it, both O(1).
+        self._queues: dict[int | None, deque] = {None: deque()}
         self._pending_groups = 0
         self._explored: set = set()
         self._in_flight: dict[int, tuple[int, list]] = {}  # task_id -> (wid, groups)
@@ -137,6 +135,9 @@ class _Scheduler:
             self.transport.stop()
         stats.unique_states = len(self._explored)
         stats.wall_time = time.perf_counter() - start
+        # Worker deltas were merged per task; add the master's own hashing
+        # (the initial state) on top.
+        stats.add_hash_stats(initial._hash_stats.snapshot())
         return stats
 
     def _receive(self) -> TaskResult:
@@ -154,10 +155,10 @@ class _Scheduler:
     def _push(self, owner: int | None, group: tuple) -> None:
         if not self._affine:
             owner = None
-        self._queues.setdefault(owner, []).append(group)
+        self._queues.setdefault(owner, deque()).append(group)
         self._pending_groups += 1
 
-    def _pop_group(self, queue: list) -> tuple:
+    def _pop_group(self, queue: deque) -> tuple:
         """Pop per ``config.search_order`` — dfs from the end, bfs from the
         front, random via the searcher's seeded RNG (the same policy
         ``Searcher._pop`` applies to the serial frontier)."""
@@ -165,8 +166,12 @@ class _Scheduler:
         if order == ORDER_DFS:
             return queue.pop()
         if order == ORDER_BFS:
-            return queue.pop(0)
-        return queue.pop(self.searcher._rng.randrange(len(queue)))
+            return queue.popleft()
+        index = self.searcher._rng.randrange(len(queue))
+        queue.rotate(-index)
+        group = queue.popleft()
+        queue.rotate(index)
+        return group
 
     def _dispatch(self) -> None:
         """Hand groups to every worker with spare capacity."""
@@ -201,7 +206,8 @@ class _Scheduler:
         return choice
 
     def _pack(self, worker_id: int) -> list:
-        """Pop up to MAX_GROUPS groups (NODE_BUDGET nodes) for one task.
+        """Pop up to ``batch_groups`` groups (``batch_nodes`` nodes) for one
+        task (``NiceConfig`` fields; groundwork for adaptive batch sizing).
 
         While the explored set is small a task carries a single node, so
         the search fans out across the pool instead of running serially
@@ -210,10 +216,10 @@ class _Scheduler:
         queue (affinity misses).
         """
         budget = (1 if len(self._explored) < 4 * self.transport.workers
-                  else self.NODE_BUDGET)
+                  else self.config.batch_nodes)
         groups: list = []
         nodes = 0
-        while self._pending_groups and len(groups) < self.MAX_GROUPS \
+        while self._pending_groups and len(groups) < self.config.batch_groups \
                 and nodes < budget:
             queue, owned = self._source_queue(worker_id)
             trace, steps = self._pop_group(queue)
@@ -222,7 +228,7 @@ class _Scheduler:
                 # Defer an oversized group rather than overshooting,
                 # putting it back where the order's next pop finds it.
                 if self.config.search_order == ORDER_BFS:
-                    queue.insert(0, (trace, steps))
+                    queue.appendleft((trace, steps))
                 else:
                     queue.append((trace, steps))
                 break
@@ -265,6 +271,7 @@ class _Scheduler:
         stats.rebuilt_transitions += out["rebuilt"]
         stats.cache_hits += out["cache_hits"]
         stats.cache_misses += out["cache_misses"]
+        stats.add_hash_stats(out["hash_stats"])
         for property_name, message, digest, gi, si, transition in \
                 out["violations"]:
             trace = self._node_trace(groups, gi, si)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import random
 import time
+from collections import deque
 
 from repro.config import (
     CHECKPOINT_TRACE,
@@ -106,6 +107,22 @@ class SearchStats:
         #: holds their parent trace vs. groups routed elsewhere.
         self.affinity_hits = 0
         self.affinity_misses = 0
+        #: Per-state hot path (DESIGN.md): component-digest cache hits and
+        #: recomputes, bytes of canonical rendering actually hashed, and
+        #: components lazily copied by copy-on-write clones.  Summed across
+        #: workers for parallel runs.
+        self.hash_hits = 0
+        self.hash_misses = 0
+        self.bytes_hashed = 0
+        self.cow_copied = 0
+
+    def add_hash_stats(self, snapshot: tuple[int, int, int, int]) -> None:
+        """Fold one ``HashStats.snapshot()`` (or a delta) into the totals."""
+        hits, misses, bytes_hashed, cow_copied = snapshot
+        self.hash_hits += hits
+        self.hash_misses += misses
+        self.bytes_hashed += bytes_hashed
+        self.cow_copied += cow_copied
 
     @property
     def found_violation(self) -> bool:
@@ -121,6 +138,9 @@ class SearchStats:
             f"quiescent states     : {self.quiescent_states}",
             f"discover_packets runs: {self.discover_packet_runs}",
             f"discover_stats runs  : {self.discover_stats_runs}",
+            f"hot path             : {self.hash_hits} digest hits /"
+            f" {self.hash_misses} misses, {self.bytes_hashed} B hashed,"
+            f" {self.cow_copied} CoW copies",
             f"wall time            : {self.wall_time:.2f}s",
             f"terminated           : {self.terminated}",
             f"violations           : {len(self.violations)}",
@@ -186,14 +206,19 @@ class Searcher:
             self._check_properties(initial, None, result, ())
         except _StopSearch:
             result.wall_time = time.perf_counter() - start
+            result.add_hash_stats(initial._hash_stats.snapshot())
             return result
 
         explored: set[str] = {initial.state_hash()}
         # Frontier entries are (system | None, trace): in trace-checkpoint
         # mode the system slot is None and the node is restored by replay.
-        frontier: list[tuple[System | None, tuple[Transition, ...]]] = [
-            (None if self._trace_checkpoints else initial, ())
-        ]
+        # DFS pops the tail and BFS the head, both O(1) on a deque; the
+        # random order needs positional pops, so it keeps a plain list.
+        frontier_type = (list if self.config.search_order == ORDER_RANDOM
+                         else deque)
+        frontier = frontier_type(
+            [(None if self._trace_checkpoints else initial, ())]
+        )
         try:
             while frontier:
                 system, trace = self._pop(frontier)
@@ -233,6 +258,9 @@ class Searcher:
             pass
         result.unique_states = len(explored)
         result.wall_time = time.perf_counter() - start
+        # Every system in a serial run descends from `initial` by clone, so
+        # the shared HashStats object holds the whole run's counters.
+        result.add_hash_stats(initial._hash_stats.snapshot())
         return result
 
     def _restore(self, trace, strategy: Strategy) -> System:
@@ -244,7 +272,8 @@ class Searcher:
         if self.config.search_order == ORDER_DFS:
             return frontier.pop()
         if self.config.search_order == ORDER_BFS:
-            return frontier.pop(0)
+            # O(1) on the deque frontier; list.pop(0) was O(n) per pop.
+            return frontier.popleft()
         if self.config.search_order == ORDER_RANDOM:
             index = self._rng.randrange(len(frontier))
             return frontier.pop(index)

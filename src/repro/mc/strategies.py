@@ -80,9 +80,11 @@ class NoDelayStrategy(Strategy):
                 if t.kind not in (tk.CTRL_HANDLE, tk.CTRL_STATS)]
 
     def post_execute(self, system, transition):
+        # Re-index the switch on every iteration: pumping may replace the
+        # object (copy-on-write materialization), and a stale reference
+        # would see the pre-copy queue forever.
         if transition.kind == tk.PROCESS_OF:
-            switch = system.switches[transition.actor]
-            while switch.can_process_of():
+            while system.switches[transition.actor].can_process_of():
                 system.pump_process_of(transition.actor)
         self._handle_pending(system)
 
@@ -92,9 +94,8 @@ class NoDelayStrategy(Strategy):
         while progress:
             progress = False
             for sw_id in sorted(system.switches):
-                switch = system.switches[sw_id]
-                while system.runtime.can_handle(switch):
-                    system.handle_ctrl_message(switch)
+                while system.runtime.can_handle(system.switches[sw_id]):
+                    system.handle_ctrl_message(system.switches[sw_id])
                     progress = True
 
 

@@ -14,18 +14,58 @@ black holes of BUG-I), or dropped, which the correctness properties read.
 from __future__ import annotations
 
 import copy
+import hashlib
 
-from repro.config import NiceConfig
+from repro.config import HASH_DIGEST, NiceConfig
 from repro.controller.api import LiveControllerAPI
 from repro.controller.runtime import ControllerRuntime
 from repro.errors import TransitionError
 from repro.mc import transitions as tk
-from repro.mc.canonical import canonicalize, hash_canonical, state_hash
+from repro.mc.canonical import (
+    DIGEST_SIZE,
+    canonicalize,
+    digest_bytes,
+    render_canonical,
+)
 from repro.mc.transitions import Transition
 from repro.openflow.messages import StatsReply
 from repro.openflow.packet import Packet
 from repro.openflow.switch import SwitchModel
 from repro.topo.topology import Endpoint, Topology
+
+
+class HashStats:
+    """Per-state hot-path counters (DESIGN.md, "Per-state hot path").
+
+    One object is shared by reference between a System and every clone
+    descended from it, so a search run (or one worker process) accumulates
+    into a single place:
+
+    * ``hits`` / ``misses`` — component-digest cache hits vs. recomputes in
+      digest hash mode;
+    * ``bytes_hashed`` — bytes of canonical *rendering* performed for
+      hashing, the O(changed) work: full mode renders the whole state per
+      call (plus the controller form on discovery-cache misses), digest
+      mode only re-rendered components and the meta tail.  Re-feeding
+      already-cached digests/tails to the 16-byte combiner is not counted
+      — it is not rendering work;
+    * ``cow_copied`` — components lazily copied by copy-on-write clones.
+    """
+
+    __slots__ = ("hits", "misses", "bytes_hashed", "cow_copied")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.bytes_hashed = 0
+        self.cow_copied = 0
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        return (self.hits, self.misses, self.bytes_hashed, self.cow_copied)
+
+    def __repr__(self):
+        return (f"HashStats(hits={self.hits}, misses={self.misses},"
+                f" bytes={self.bytes_hashed}, cow={self.cow_copied})")
 
 
 class PacketLedger:
@@ -140,6 +180,29 @@ class System:
         #: ``"app"``, ``"ctrl"`` (controller-state digest), ``"ledger"``.
         #: Every mutation path pops the affected keys via :meth:`_dirty`.
         self._canon_cache: dict = {}
+        #: Merkle layer on top of the canonical memo: per-component blake2b
+        #: digests, invalidated by the same :meth:`_dirty` keys.  A state
+        #: hash combines these instead of re-rendering the whole tree.
+        self._digest_cache: dict = {}
+        #: Hot-path counters, shared by reference with every clone.
+        self._hash_stats = HashStats()
+        #: Copy-on-write bookkeeping: component keys whose objects may also
+        #: be referenced by another System (a parent or a child), and must
+        #: therefore be copied before their first mutation.  Every mutation
+        #: path goes through :meth:`_dirty`, which materializes shared
+        #: components before dropping their cached forms.
+        self._shared: set = set()
+        self._component_keys = frozenset(
+            [("sw", sw_id) for sw_id in self.switches]
+            + [("host", name) for name in self.hosts]
+            + ["app", "ledger"]
+        )
+        #: Component and event orderings are fixed for the lifetime of the
+        #: system (and every clone); precomputing them keeps sorts out of
+        #: the per-state hot path.
+        self._sw_order = tuple(sorted(self.switches))
+        self._host_order = tuple(sorted(self.hosts))
+        self._event_order = tuple(sorted(self.events_fired))
 
     # ------------------------------------------------------------------
     # Setup
@@ -171,7 +234,7 @@ class System:
     def enabled_transitions(self) -> list[Transition]:
         """Base enabled set (the search layer adds symbolic sends/stats)."""
         enabled: list[Transition] = []
-        for sw_id in sorted(self.switches):
+        for sw_id in self._sw_order:
             switch = self.switches[sw_id]
             if switch.can_process_pkt():
                 enabled.append(Transition(tk.PROCESS_PKT, sw_id))
@@ -188,7 +251,7 @@ class System:
                         enabled.append(
                             Transition(tk.CHANNEL_FAULT, sw_id, (port, op))
                         )
-        for name in sorted(self.hosts):
+        for name in self._host_order:
             host = self.hosts[name]
             for descriptor in host.send_candidates(self.config.max_pkt_sequence):
                 enabled.append(Transition(tk.HOST_SEND, name, descriptor))
@@ -196,7 +259,7 @@ class System:
                 enabled.append(Transition(tk.HOST_RECV, name))
             for target in host.move_targets():
                 enabled.append(Transition(tk.HOST_MOVE, name, target))
-        for event in sorted(self.events_fired):
+        for event in self._event_order:
             if not self.events_fired[event]:
                 enabled.append(Transition(tk.CTRL_EVENT, event))
         return enabled
@@ -209,15 +272,22 @@ class System:
     # ------------------------------------------------------------------
 
     def execute(self, transition: Transition) -> None:
-        """Apply one transition; raises TransitionError if not executable."""
+        """Apply one transition; raises TransitionError if not executable.
+
+        Mutate-through-owner discipline: a component reference is fetched
+        *after* the ``_dirty`` call that covers it, never before — under
+        copy-on-write cloning ``_dirty`` may replace the shared component
+        with this system's own copy, and a stale reference would mutate
+        the parent's state.
+        """
         kind = transition.kind
         if kind == tk.PROCESS_PKT:
-            switch = self._switch(transition.actor)
             self._dirty(("sw", transition.actor))
+            switch = self._switch(transition.actor)
             self.route(transition.actor, switch.process_pkt())
         elif kind == tk.PROCESS_OF:
-            switch = self._switch(transition.actor)
             self._dirty(("sw", transition.actor))
+            switch = self._switch(transition.actor)
             self.route(transition.actor, switch.process_of())
         elif kind == tk.CTRL_HANDLE:
             switch = self._switch(transition.actor)
@@ -235,14 +305,14 @@ class System:
                 raise TransitionError(f"event {transition.actor!r} already fired")
             self.events_fired[transition.actor] = True
             self._begin_handler("ctrl_event", transition.actor, None)
-            self._dirty("app", "ctrl")
+            self._dirty("app", "ctrl", "meta")
             self.app.handle_event(self.api(), transition.actor)
             self._end_handler()
         elif kind == tk.HOST_SEND:
             self._execute_host_send(transition)
         elif kind == tk.HOST_RECV:
-            host = self._host(transition.actor)
             self._dirty(("host", transition.actor), "ledger")
+            host = self._host(transition.actor)
             packet = host.receive()
             self.ledger.record_delivered(packet, transition.actor)
         elif kind == tk.HOST_MOVE:
@@ -252,8 +322,8 @@ class System:
             self._switch(transition.actor).expire_rule(transition.arg)
         elif kind == tk.CHANNEL_FAULT:
             port, op = transition.arg
-            switch = self._switch(transition.actor)
             self._dirty(("sw", transition.actor), "ledger")
+            switch = self._switch(transition.actor)
             switch.port_in[port].apply_fault(tuple(op))
             self.ledger.record_fault(tuple(op), transition.actor, port)
         else:
@@ -277,8 +347,8 @@ class System:
         self.app.port_stats_in(self.api(), transition.actor, stats, xid=reply.xid)
 
     def _execute_host_send(self, transition: Transition) -> None:
-        host = self._host(transition.actor)
         self._dirty(("host", transition.actor), "ledger")
+        host = self._host(transition.actor)
         descriptor = transition.arg
         if descriptor[0] == "sym":
             if transition.payload is None:
@@ -288,8 +358,10 @@ class System:
             packet = host.take_send(tuple(descriptor))
         # Identity independent of global interleaving: the n-th send of a
         # given header signature by this host always gets the same uid, so
-        # equivalent event orders still reach identical states.
-        signature = state_hash(packet.header_tuple())[:8]
+        # equivalent event orders still reach identical states.  (The
+        # header tuple is already canonical; the fast renderer is used in
+        # every mode, so uids never differ between engine configurations.)
+        signature = digest_bytes(render_canonical(packet.header_tuple())).hex()[:8]
         occurrence = host.send_sig_counts.get(signature, 0)
         host.send_sig_counts[signature] = occurrence + 1
         packet.uid = (host.name, signature, occurrence)
@@ -301,8 +373,9 @@ class System:
         self.ledger.record_injected(packet, host.name)
 
     def _execute_host_move(self, transition: Transition) -> None:
+        # "meta" covers the attachment map in the digest-combine tail.
+        self._dirty(("host", transition.actor), "meta")
         host = self._host(transition.actor)
-        self._dirty(("host", transition.actor))
         target = tuple(transition.arg)
         if target[0] not in self.switches or target[1] not in self.switches[target[0]].ports:
             raise TransitionError(f"move target {target} is not a switch port")
@@ -364,13 +437,15 @@ class System:
         progress = True
         while progress:
             progress = False
-            for sw_id in sorted(self.switches):
-                switch = self.switches[sw_id]
-                while switch.can_process_of():
+            for sw_id in self._sw_order:
+                # Re-index every iteration: pumping or handling may replace
+                # the switch object (copy-on-write materialization), and a
+                # stale reference would read the pre-copy queues forever.
+                while self.switches[sw_id].can_process_of():
                     self.pump_process_of(sw_id)
                     progress = True
-                while self.runtime.can_handle(switch):
-                    self.handle_ctrl_message(switch)
+                while self.runtime.can_handle(self.switches[sw_id]):
+                    self.handle_ctrl_message(self.switches[sw_id])
                     progress = True
 
     def handle_ctrl_message(self, switch) -> None:
@@ -383,7 +458,9 @@ class System:
         (NO-DELAY) must go through here.
         """
         self._dirty(("sw", switch.switch_id), "app", "ctrl")
-        self.runtime.handle_message(self.api(), switch)
+        # _dirty may have copied the switch (copy-on-write); dequeue from
+        # this system's own object, not the caller's possibly-stale one.
+        self.runtime.handle_message(self.api(), self.switches[switch.switch_id])
 
     def pump_process_of(self, sw_id: str) -> None:
         """Apply one pending controller message at ``sw_id`` and route the
@@ -396,9 +473,33 @@ class System:
     # ------------------------------------------------------------------
 
     def _dirty(self, *keys) -> None:
-        """Drop cached canonical forms for mutated components."""
+        """Declare components about to be mutated.
+
+        Two jobs, driven by the same keys: materialize any component still
+        shared with a parent/child clone (copy-on-write), and drop its
+        cached canonical form and digest.  Every mutation path calls this
+        *before* touching the component and fetches its reference *after*.
+        """
         for key in keys:
+            if key in self._shared:
+                self._materialize(key)
             self._canon_cache.pop(key, None)
+            self._digest_cache.pop(key, None)
+
+    def _materialize(self, key) -> None:
+        """Replace a shared component with this system's own copy."""
+        self._shared.discard(key)
+        self._hash_stats.cow_copied += 1
+        if key == "app":
+            self.runtime = ControllerRuntime(self.runtime.app.clone())
+        elif key == "ledger":
+            self.ledger = self.ledger.clone()
+        else:
+            kind, name = key
+            if kind == "sw":
+                self.switches[name] = self.switches[name].clone({})
+            else:
+                self.hosts[name] = self.hosts[name].clone({})
 
     def _memo(self, key, obj):
         """Cached ``canonicalize(obj)``; recomputed only after `_dirty`."""
@@ -418,48 +519,132 @@ class System:
         form — and therefore every state hash — is identical to canonicalizing
         the raw component tuples from scratch.
         """
-        return (
+        base = (
             tuple(self._memo(("sw", s), self.switches[s])
-                  for s in sorted(self.switches)),
+                  for s in self._sw_order),
             tuple(self._memo(("host", h), self.hosts[h])
-                  for h in sorted(self.hosts)),
+                  for h in self._host_order),
             self._memo("app", self.app.state_vars()),
             tuple(sorted(self.attachments.items())),
             self._memo("ledger", self.ledger),
-            tuple(sorted(self.events_fired.items())),
+            tuple((e, self.events_fired[e]) for e in self._event_order),
         )
+        extra = self.canonical_extra()
+        return base + ((extra,) if extra else ())
+
+    def canonical_extra(self) -> tuple:
+        """Subclass hook: extra state folded into the hash in *both* hash
+        modes (e.g. the JPF baseline's pending handler operations).  Must
+        return an already-canonical tuple; ``()`` contributes nothing."""
+        return ()
 
     def controller_state_hash(self) -> str:
         """Hash of the controller state only — the discovery-cache key of
         Figure 5 (``client.packets[state(ctrl)]``)."""
         if not self.config.hash_memoization:
-            return state_hash(self.app.state_vars())
+            data = repr(canonicalize(self.app.state_vars())).encode()
+            self._hash_stats.bytes_hashed += len(data)
+            return hashlib.md5(data).hexdigest()
+        if self.config.hash_mode == HASH_DIGEST:
+            return self._digest("app", self.app.state_vars).hex()
         digest = self._canon_cache.get("ctrl")
         if digest is None:
-            digest = hash_canonical(self._memo("app", self.app.state_vars()))
+            data = repr(self._memo("app", self.app.state_vars())).encode()
+            self._hash_stats.bytes_hashed += len(data)
+            digest = hashlib.md5(data).hexdigest()
             self._canon_cache["ctrl"] = digest
         return digest
 
+    def _digest(self, key, obj) -> bytes:
+        """Cached blake2b digest of one component's canonical form.
+
+        ``obj`` is the component, or a zero-argument callable invoked only
+        on a miss (``app.state_vars`` allocates a dict per call, so it is
+        passed as the bound method).  Hit/miss/bytes counters feed
+        :class:`HashStats`.
+        """
+        digest = self._digest_cache.get(key)
+        if digest is None:
+            if callable(obj):
+                obj = obj()
+            data = render_canonical(self._memo(key, obj))
+            digest = digest_bytes(data)
+            self._digest_cache[key] = digest
+            self._hash_stats.misses += 1
+            self._hash_stats.bytes_hashed += len(data)
+        else:
+            self._hash_stats.hits += 1
+        return digest
+
     def state_hash(self) -> str:
-        # canonical_state() is already fully canonical; hash its stable
-        # rendering directly instead of re-walking the whole tree.
-        return hash_canonical(self.canonical_state())
+        """Digest of the full state, for the explored-state set.
+
+        Digest mode (the default) combines the cached per-component
+        digests Merkle-style: a transition that touched one switch
+        re-renders and re-hashes that one switch, not the whole tree.
+        Full mode — and any run with ``hash_memoization`` off — renders
+        the entire canonical tuple per call, the O(state size) baseline.
+        Both modes induce the same state partition: two states combine to
+        the same digest exactly when their canonical forms are equal.
+        """
+        config = self.config
+        if not (config.hash_memoization and config.hash_mode == HASH_DIGEST):
+            # The measurable old behavior: md5 over a repr of the entire
+            # canonical tuple, exactly as shipped before digest hashing.
+            data = repr(self.canonical_state()).encode()
+            self._hash_stats.bytes_hashed += len(data)
+            return hashlib.md5(data).hexdigest()
+        combined = hashlib.blake2b(digest_size=DIGEST_SIZE)
+        for sw_id in self._sw_order:
+            combined.update(self._digest(("sw", sw_id), self.switches[sw_id]))
+        for name in self._host_order:
+            combined.update(self._digest(("host", name), self.hosts[name]))
+        combined.update(self._digest("app", self.app.state_vars))
+        combined.update(self._digest("ledger", self.ledger))
+        # The small always-owned fields (attachments, fired events) ride
+        # along as a cached rendered tail under the "meta" dirty key; the
+        # component digest count is fixed per topology, so the
+        # concatenation is unambiguous.
+        tail = self._digest_cache.get("meta")
+        if tail is None:
+            tail = render_canonical((
+                tuple(sorted(self.attachments.items())),
+                tuple((e, self.events_fired[e]) for e in self._event_order),
+            ))
+            self._digest_cache["meta"] = tail
+            self._hash_stats.bytes_hashed += len(tail)
+        combined.update(tail)
+        # Subclass extras (the JPF baseline's pending operations) may be
+        # mutated directly from outside ``execute``, so they are rendered
+        # per call, never cached — they are empty for plain systems.
+        extra = self.canonical_extra()
+        if extra:
+            data = render_canonical(extra)
+            self._hash_stats.bytes_hashed += len(data)
+            combined.update(data)
+        return combined.hexdigest()
 
     def clone(self) -> "System":
         """Checkpoint: copy the mutable parts, share everything static.
 
-        The fast path (default) hand-copies each component — see the
-        ``clone`` methods on :class:`SwitchModel`, :class:`FlowTable`,
-        :class:`~repro.hosts.base.Host`, :class:`PacketLedger` and the
-        apps — sharing immutable objects (installed match patterns,
-        actions, queued OpenFlow messages, packet history).  One packet
-        memo spans the whole clone so aliased packets stay aliased,
-        exactly as a single ``deepcopy`` pass would leave them; this is
-        the difference between O(state) tuple-walks and the ~10x cheaper
-        copy the search loop needs (DESIGN.md, "Cheap checkpointing").
-        ``config.fast_clone=False`` keeps the seed's deepcopy behavior —
-        the baseline the checkpointing benchmark measures against.
+        Copy-on-write (default): the clone *shares* every switch, host,
+        app, and ledger component with this system, and a component is
+        copied lazily on its first mutation — by :meth:`_dirty`, the same
+        invalidation that already knows exactly which components a
+        transition touches.  Cloning becomes O(#components) dict copies
+        and executing a child costs one component copy per touched
+        component, not one full state copy per child.
+
+        ``cow_clone=False`` falls back to the eager component-wise copy
+        (``fast_clone``) — the ``clone`` methods on :class:`SwitchModel`,
+        :class:`FlowTable`, :class:`~repro.hosts.base.Host`,
+        :class:`PacketLedger` and the apps, sharing immutable objects and
+        memo-copying data-plane packets — and ``fast_clone=False`` keeps
+        the seed's full deepcopy, the baselines the hot-path benchmark
+        measures against (DESIGN.md, "Per-state hot path").
         """
+        if self.config.cow_clone:
+            return self._clone_cow()
         if not self.config.fast_clone:
             return self._clone_deepcopy()
         packet_memo: dict = {}
@@ -472,6 +657,23 @@ class System:
                      for name, host in self.hosts.items()}
         new.runtime = ControllerRuntime(self.runtime.app.clone())
         new.ledger = self.ledger.clone()
+        new._shared = set()
+        return self._finish_clone(new)
+
+    def _clone_cow(self) -> "System":
+        """Copy-on-write checkpoint: share every component, copy none."""
+        new = object.__new__(System)
+        new.topo = self.topo
+        new.config = self.config
+        new.switches = dict(self.switches)
+        new.hosts = dict(self.hosts)
+        new.runtime = self.runtime
+        new.ledger = self.ledger
+        new._shared = set(self._component_keys)
+        # The parent keeps referencing the same objects, so it gives up
+        # exclusive ownership too: whichever side mutates a component
+        # first materializes its own copy (isolation in both directions).
+        self._shared.update(self._component_keys)
         return self._finish_clone(new)
 
     def _clone_deepcopy(self) -> "System":
@@ -483,19 +685,26 @@ class System:
         new.hosts = copy.deepcopy(self.hosts)
         new.runtime = ControllerRuntime(copy.deepcopy(self.runtime.app))
         new.ledger = copy.deepcopy(self.ledger)
+        new._shared = set()
         return self._finish_clone(new)
 
     def _finish_clone(self, new: "System") -> "System":
-        """Fields copied identically by both clone strategies."""
+        """Fields copied identically by all three clone strategies."""
         new.attachments = dict(self.attachments)
         new.host_locations = dict(self.host_locations)
         new.events_fired = dict(self.events_fired)
         new.of_seq = self.of_seq
         new.last_handler = None
         new._api_calls = []
-        # Canonical forms are immutable tuples; a shallow copy lets the
-        # child reuse every digest its transition does not invalidate.
+        # Canonical forms and digests are immutable; a shallow copy lets
+        # the child reuse everything its transition does not invalidate.
         new._canon_cache = dict(self._canon_cache)
+        new._digest_cache = dict(self._digest_cache)
+        new._hash_stats = self._hash_stats
+        new._component_keys = self._component_keys
+        new._sw_order = self._sw_order
+        new._host_order = self._host_order
+        new._event_order = self._event_order
         return new
 
     # ------------------------------------------------------------------
@@ -531,9 +740,12 @@ class _StampingAPI:
         method = getattr(self._api, name)
 
         def wrapper(sw_id, *args, **kwargs):
+            # Invalidate (and, under copy-on-write, materialize) before
+            # fetching the switch: the API call must enqueue onto this
+            # system's own copy, and the stamping below must read it.
+            self._system._dirty(("sw", sw_id), "app", "ctrl")
             switch = self._system.switches.get(sw_id)
             before = len(switch.ofp_in) if switch else 0
-            self._system._dirty(("sw", sw_id), "app", "ctrl")
             result = method(sw_id, *args, **kwargs)
             if switch is not None:
                 for message in switch.ofp_in.items()[before:]:

@@ -121,6 +121,10 @@ class WorkerRuntime:
         searcher = self.searcher
         config = self.config
         stats_sink = _StatsSink()  # scratch counter sink for _enabled()
+        # Every system this worker touches descends from self.initial by
+        # clone, so one shared HashStats accumulates the hot-path counters;
+        # each result carries this task's delta back to the master.
+        self._hash_before = self.initial._hash_stats.snapshot()
         out = {
             "children": [],     # (gi, si, [(transition, digest), ...])
             "quiescent": 0,
@@ -174,10 +178,13 @@ class WorkerRuntime:
                 out["children"].append((gi, si, kids))
         return self._finish(out, stats_sink)
 
-    @staticmethod
-    def _finish(out, stats_sink) -> dict:
+    def _finish(self, out, stats_sink) -> dict:
         out["discover_packet_runs"] = stats_sink.discover_packet_runs
         out["discover_stats_runs"] = stats_sink.discover_stats_runs
+        after = self.initial._hash_stats.snapshot()
+        out["hash_stats"] = tuple(
+            now - before for now, before in zip(after, self._hash_before)
+        )
         return out
 
     def _check(self, method, system, gi, si, transition, out) -> None:

@@ -66,6 +66,10 @@ class Channel:
         switch mutates in place as they traverse it (hop recording), so
         each is memo-copied.  Without it the items are OpenFlow messages,
         immutable once enqueued, and stay shared with the original.
+
+        Under copy-on-write checkpointing the channel is shared (inside
+        its switch/host) until the owning System materializes its copy via
+        ``_dirty`` — enqueue/dequeue must never run on a shared channel.
         """
         new = Channel.__new__(Channel)
         new.name = self.name

@@ -42,7 +42,10 @@ class FlowTable:
 
     def clone(self) -> "FlowTable":
         """Checkpoint copy: rules are cloned (their counters are per-state),
-        sharing patterns and actions; insertion order is preserved."""
+        sharing patterns, actions, and each rule's cached counter-free
+        canonical form; insertion order is preserved.  Under copy-on-write
+        checkpointing this runs only when the owning switch materializes
+        (``System._dirty``) — the table is never mutated while shared."""
         new = FlowTable.__new__(FlowTable)
         new.canonical_mode = self.canonical_mode
         new._entries = [(seq, rule.clone()) for seq, rule in self._entries]

@@ -63,6 +63,7 @@ class Match:
         "nw_proto",
         "tp_src",
         "tp_dst",
+        "_canon",
     )
 
     def __init__(
@@ -86,6 +87,9 @@ class Match:
         self.nw_proto = nw_proto
         self.tp_src = tp_src
         self.tp_dst = tp_dst
+        #: Lazily rendered canonical form; patterns are immutable once
+        #: built, and flow-table hashing renders them constantly.
+        self._canon: tuple | None = None
 
     @staticmethod
     def _parse_nw(spec: int | tuple[int, int] | None) -> tuple[int | None, int]:
@@ -208,7 +212,12 @@ class Match:
         return True
 
     def canonical(self) -> tuple:
-        """Stable, order-independent serialization for state hashing."""
+        """Stable, order-independent serialization for state hashing
+        (cached: patterns never change after construction)."""
+        canon = self._canon
+        if canon is not None:
+            return canon
+
         def enc(value):
             if value is None:
                 return "*"
@@ -216,7 +225,7 @@ class Match:
                 return value.canonical()
             return value
 
-        return (
+        canon = self._canon = (
             enc(self.in_port),
             enc(self.dl_src),
             enc(self.dl_dst),
@@ -227,6 +236,7 @@ class Match:
             enc(self.tp_src),
             enc(self.tp_dst),
         )
+        return canon
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Match):

@@ -37,9 +37,22 @@ class Message:
     equality.
     """
 
-    __slots__ = ("seq",)
+    __slots__ = ("seq", "_canon")
 
     def canonical(self) -> tuple:
+        """Stable serialization for state hashing, cached per instance.
+
+        Messages are immutable once enqueued (``PacketIn``/``PacketOut``
+        carry packet references that are never mutated afterwards; ``seq``
+        is deliberately outside equality and this form), so each message
+        renders exactly once however many times its channel re-hashes.
+        """
+        canon = getattr(self, "_canon", None)
+        if canon is None:
+            canon = self._canon = self._render()
+        return canon
+
+    def _render(self) -> tuple:
         raise NotImplementedError
 
     def __eq__(self, other: object) -> bool:
@@ -64,7 +77,7 @@ class PacketIn(Message):
         self.buffer_id = buffer_id
         self.reason = reason
 
-    def canonical(self) -> tuple:
+    def _render(self) -> tuple:
         return ("packet_in", self.switch, self.in_port,
                 self.packet.canonical(), self.buffer_id, self.reason)
 
@@ -86,7 +99,7 @@ class PacketOut(Message):
         self.packet = packet
         self.actions = list(actions)
 
-    def canonical(self) -> tuple:
+    def _render(self) -> tuple:
         return (
             "packet_out",
             self.buffer_id if self.buffer_id is not None else "*",
@@ -120,7 +133,7 @@ class FlowMod(Message):
         self.hard_timeout = hard_timeout
         self.cookie = cookie
 
-    def canonical(self) -> tuple:
+    def _render(self) -> tuple:
         return ("flow_mod", self.command, self.match.canonical(),
                 canonical_actions(self.actions), self.priority,
                 self.idle_timeout, self.hard_timeout, self.cookie)
@@ -138,7 +151,7 @@ class StatsRequest(Message):
         self.kind = kind
         self.xid = xid
 
-    def canonical(self) -> tuple:
+    def _render(self) -> tuple:
         return ("stats_request", self.kind, self.xid)
 
     def __repr__(self) -> str:
@@ -161,7 +174,7 @@ class StatsReply(Message):
         self.stats = stats
         self.xid = xid
 
-    def canonical(self) -> tuple:
+    def _render(self) -> tuple:
         def freeze(obj):
             if isinstance(obj, dict):
                 return tuple(sorted((k, freeze(v)) for k, v in obj.items()))
@@ -181,7 +194,7 @@ class BarrierRequest(Message):
     def __init__(self, xid: int = 0):
         self.xid = xid
 
-    def canonical(self) -> tuple:
+    def _render(self) -> tuple:
         return ("barrier_request", self.xid)
 
 
@@ -194,7 +207,7 @@ class BarrierReply(Message):
         self.switch = switch
         self.xid = xid
 
-    def canonical(self) -> tuple:
+    def _render(self) -> tuple:
         return ("barrier_reply", self.switch, self.xid)
 
 
@@ -208,7 +221,7 @@ class PortStatus(Message):
         self.port = port
         self.is_up = is_up
 
-    def canonical(self) -> tuple:
+    def _render(self) -> tuple:
         return ("port_status", self.switch, self.port, self.is_up)
 
 
@@ -225,6 +238,6 @@ class FlowRemoved(Message):
         self.packet_count = packet_count
         self.byte_count = byte_count
 
-    def canonical(self) -> tuple:
+    def _render(self) -> tuple:
         return ("flow_removed", self.switch, self.match.canonical(),
                 self.priority, self.packet_count, self.byte_count)

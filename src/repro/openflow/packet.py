@@ -48,7 +48,7 @@ class MacAddress:
     1
     """
 
-    __slots__ = ("_bytes",)
+    __slots__ = ("_bytes", "_canon")
 
     def __init__(self, data: Sequence[int]):
         data = tuple(int(b) for b in data)
@@ -58,6 +58,8 @@ class MacAddress:
             if not 0 <= b <= 0xFF:
                 raise ValueError(f"MAC byte out of range: {b}")
         self._bytes = data
+        #: Lazily rendered canonical text; immutable address, safe to keep.
+        self._canon: str | None = None
 
     @classmethod
     def from_string(cls, text: str) -> "MacAddress":
@@ -110,8 +112,12 @@ class MacAddress:
         return ":".join(f"{b:02x}" for b in self._bytes)
 
     def canonical(self) -> str:
-        """Stable serialization used for state hashing."""
-        return repr(self)
+        """Stable serialization used for state hashing (cached: the address
+        is immutable and state hashing renders it constantly)."""
+        canon = self._canon
+        if canon is None:
+            canon = self._canon = repr(self)
+        return canon
 
 
 def ip_from_string(text: str) -> int:
@@ -156,6 +162,7 @@ class Packet:
         "uid",
         "copy_id",
         "hops",
+        "_header",
     )
 
     def __init__(
@@ -192,6 +199,12 @@ class Packet:
         #: (a per-switch counter would make equivalent states hash apart).
         self.copy_id: tuple = ()
         self.hops: list[tuple[str, int]] = []
+        #: Lazily built header tuple.  The pipeline only rewrites header
+        #: fields on freshly made copies (set-dl actions, ARP resolution),
+        #: never on a packet that has already been observed/hashed, so the
+        #: cache cannot go stale; identity fields (uid/copy_id/hops) do
+        #: mutate in place and are deliberately not cached.
+        self._header: tuple | None = None
 
     # Aliases matching the names controller programs use (Figure 3 uses
     # pkt.src / pkt.dst / pkt.type for the Ethernet header).
@@ -209,20 +222,23 @@ class Packet:
 
     def header_tuple(self) -> tuple:
         """All header fields, used for equality and canonical serialization."""
-        return (
-            self.eth_src.canonical(),
-            self.eth_dst.canonical(),
-            self.eth_type,
-            self.ip_src,
-            self.ip_dst,
-            self.nw_proto,
-            self.tp_src,
-            self.tp_dst,
-            self.tcp_flags,
-            self.arp_op,
-            self.payload,
-            self.size,
-        )
+        header = self._header
+        if header is None:
+            header = self._header = (
+                self.eth_src.canonical(),
+                self.eth_dst.canonical(),
+                self.eth_type,
+                self.ip_src,
+                self.ip_dst,
+                self.nw_proto,
+                self.tp_src,
+                self.tp_dst,
+                self.tcp_flags,
+                self.arp_op,
+                self.payload,
+                self.size,
+            )
+        return header
 
     def flow_key(self) -> tuple:
         """Microflow identity: the 5-tuple plus MACs, ignoring flags/payload.
@@ -230,16 +246,7 @@ class Packet:
         Used by the FLOW-IR strategy's default ``is_same_flow`` and by the
         FlowAffinity property to group packets of one TCP connection.
         """
-        return (
-            self.eth_src.canonical(),
-            self.eth_dst.canonical(),
-            self.eth_type,
-            self.ip_src,
-            self.ip_dst,
-            self.nw_proto,
-            self.tp_src,
-            self.tp_dst,
-        )
+        return self.header_tuple()[:8]
 
     def same_headers(self, other: "Packet") -> bool:
         return self.header_tuple() == other.header_tuple()

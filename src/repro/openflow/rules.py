@@ -35,6 +35,7 @@ class Rule:
         "cookie",
         "packet_count",
         "byte_count",
+        "_static_canon",
     )
 
     def __init__(
@@ -54,6 +55,10 @@ class Rule:
         self.cookie = cookie
         self.packet_count = 0
         self.byte_count = 0
+        #: Lazily rendered counter-free canonical form; the pattern,
+        #: actions, and metadata are immutable once installed, so clones
+        #: share it and only counters render per call.
+        self._static_canon: tuple | None = None
 
     def record_hit(self, byte_count: int) -> None:
         """Update the rule's traffic counters after a match."""
@@ -72,6 +77,7 @@ class Rule:
         new.cookie = self.cookie
         new.packet_count = self.packet_count
         new.byte_count = self.byte_count
+        new._static_canon = self._static_canon
         return new
 
     @property
@@ -80,16 +86,18 @@ class Rule:
 
     def canonical(self, include_counters: bool = True) -> tuple:
         """Stable serialization used both for ordering and state hashing."""
-        base = (
-            self.priority,
-            self.match.canonical(),
-            canonical_actions(self.actions),
-            self.idle_timeout,
-            self.hard_timeout,
-            self.cookie,
-        )
+        base = self._static_canon
+        if base is None:
+            base = self._static_canon = (
+                self.priority,
+                self.match.canonical(),
+                canonical_actions(self.actions),
+                self.idle_timeout,
+                self.hard_timeout,
+                self.cookie,
+            )
         if include_counters:
-            base = base + (self.packet_count, self.byte_count)
+            return base + (self.packet_count, self.byte_count)
         return base
 
     def same_entry(self, other: "Rule") -> bool:

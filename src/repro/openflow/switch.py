@@ -108,6 +108,12 @@ class SwitchModel:
         copies, read-only).  Memo-copied: data-plane packets in the port
         channels and the controller-decision buffers, which the pipeline
         mutates in place (hop recording, identity reset on release).
+
+        Under copy-on-write checkpointing (``cow_clone``) this runs
+        *lazily*: the whole switch stays shared between parent and child
+        until ``System._dirty`` materializes the mutating side's own copy,
+        so all mutation must go through the owning System (DESIGN.md,
+        "Per-state hot path").
         """
         new = SwitchModel.__new__(SwitchModel)
         new.switch_id = self.switch_id
@@ -379,7 +385,7 @@ class SwitchModel:
         NO-SWITCH-REDUCTION baseline keeps raw ids (and unsorted tables).
         """
         canonical_mode = self.table.canonical_mode
-        if canonical_mode:
+        if canonical_mode and self.buffers:
             order = sorted(
                 self.buffers,
                 key=lambda bid: (repr(self.buffers[bid][0].canonical()),
@@ -422,7 +428,8 @@ class SwitchModel:
                 for bid, (pkt, port) in self.buffers.items()
             )),
             stats_part,
-            tuple(sorted(self.port_up.items())),
+            # self.ports is sorted, so this equals sorted(port_up.items()).
+            tuple((p, self.port_up[p]) for p in self.ports),
             tuple(sorted(self.dropped, key=repr)),
         )
 

@@ -1,0 +1,348 @@
+"""The per-state hot path: copy-on-write cloning and digest hashing.
+
+Contracts under test (DESIGN.md, "Per-state hot path"):
+
+* a copy-on-write clone is bit-identical to a deepcopy clone — same state
+  hash before and after executing any enabled transition — on **every**
+  registered scenario, and mutations are isolated in both directions
+  (child-to-parent and parent-to-child);
+* the explored state space is unchanged by ``cow_clone`` + digest hashing:
+  serial counters and violations equal the deepcopy/md5-baseline run, and
+  a 2-worker parallel run equals serial, all under the new defaults;
+* after a transition that touches a single component, ``state_hash()``
+  recomputes exactly one component digest (counter-asserted);
+* the all-string-key fast path of ``canonicalize`` orders identically to
+  the repr-keyed slow path (hash-pinned), and unsafe keys fall back;
+* ``hash_mode="full"`` reproduces the legacy md5-over-repr hash exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+
+import pytest
+
+from repro import nice, scenarios
+from repro.config import NiceConfig
+from repro.mc import transitions as tk
+from repro.mc.canonical import _safe_string_key, canonicalize, state_string
+from repro.scenarios import REGISTRY, with_config
+
+requires_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel engine requires the fork start method",
+)
+
+#: Baseline knobs: the engine exactly as it ran before this change —
+#: eager component clones, full md5-over-repr hashing.
+PRE_COW = dict(cow_clone=False, hash_mode="full")
+#: The seed-equivalent engine (deepcopy checkpointing, no memoization).
+DEEPCOPY = dict(cow_clone=False, fast_clone=False)
+
+
+def exhaustive(scenario, **overrides):
+    return nice.run(with_config(scenario, stop_at_first_violation=False,
+                                **overrides))
+
+
+def counters(result):
+    return (result.unique_states, result.transitions_executed,
+            result.quiescent_states, result.revisited_states,
+            result.terminated)
+
+
+def all_scenarios():
+    return [pytest.param(builder, id=name)
+            for name, builder in sorted(REGISTRY.items())]
+
+
+class TestCowCloneBitIdentity:
+    """CoW clones == deepcopy clones, on every registered scenario."""
+
+    @pytest.mark.parametrize("builder", all_scenarios())
+    def test_clone_and_children_hash_identically(self, builder):
+        scenario = builder()
+        cow = with_config(scenario).system_factory()
+        ref = with_config(scenario, **DEEPCOPY).system_factory()
+        assert cow.state_hash() == ref.state_hash()
+        assert cow.clone().state_hash() == ref.clone().state_hash()
+        for transition in cow.enabled_transitions():
+            cow_child = cow.clone()
+            cow_child.execute(transition)
+            ref_child = ref.clone()
+            ref_child.execute(transition)
+            assert cow_child.state_hash() == ref_child.state_hash(), (
+                f"{scenario.name}: CoW and deepcopy children diverge"
+                f" after {transition!r}")
+
+    @pytest.mark.parametrize("builder", all_scenarios())
+    def test_mutation_isolated_in_both_directions(self, builder):
+        scenario = builder()
+        parent = with_config(scenario).system_factory()
+        enabled = parent.enabled_transitions()
+        if not enabled:
+            pytest.skip("scenario boots quiescent")
+        transition = enabled[0]
+
+        # Child mutation must not leak into the parent...
+        before = parent.state_hash()
+        child = parent.clone()
+        child.execute(transition)
+        assert parent.state_hash() == before
+        assert child.state_hash() != before
+
+        # ...and parent mutation must not leak into the child.
+        parent2 = with_config(scenario).system_factory()
+        child2 = parent2.clone()
+        child_before = child2.state_hash()
+        parent2.execute(transition)
+        assert child2.state_hash() == child_before
+        assert parent2.state_hash() != child_before
+
+    def test_second_generation_sharing(self):
+        """Grandchildren share through a materialized middle generation."""
+        # pyswitch-loop boots with a scripted send enabled (direct-path's
+        # sends only appear through symbolic discovery).
+        scenario = scenarios.pyswitch_loop()
+        root = with_config(scenario).system_factory()
+        transition = root.enabled_transitions()[0]
+        child = root.clone()
+        child.execute(transition)
+        frozen = child.state_hash()
+        for grand_t in child.enabled_transitions():
+            grandchild = child.clone()
+            grandchild.execute(grand_t)
+        assert child.state_hash() == frozen
+        assert root.state_hash() != frozen
+
+
+class TestExploredSpaceUnchanged:
+    """cow_clone + digest hashing explore exactly the baseline space."""
+
+    #: pyswitch-mobile and -loop have state spaces far too large to
+    #: exhaust in a unit test; a transition cap keeps the comparison exact
+    #: (both engines expand the identical DFS prefix), direct-path runs to
+    #: exhaustion.
+    @pytest.mark.parametrize("builder,cap", [
+        (scenarios.pyswitch_direct_path, None),
+        (scenarios.pyswitch_mobile, 3000),
+        # Looping flood copies make every pyswitch-loop state enormous;
+        # the deepcopy/full-rehash baseline needs ~18ms per transition
+        # there, so the cap stays small.
+        (scenarios.pyswitch_loop, 600),
+    ])
+    def test_serial_equals_md5_deepcopy_baseline(self, builder, cap):
+        scenario = builder()
+        new = exhaustive(scenario, max_transitions=cap)
+        baseline = exhaustive(scenario, max_transitions=cap,
+                              hash_mode="full", cow_clone=False,
+                              fast_clone=False, hash_memoization=False)
+        assert counters(new) == counters(baseline)
+        assert (sorted((v.property_name, v.message) for v in new.violations)
+                == sorted((v.property_name, v.message)
+                          for v in baseline.violations))
+
+    @requires_fork
+    def test_parallel_two_workers_equals_serial(self):
+        scenario = scenarios.pyswitch_direct_path()
+        serial = exhaustive(scenario)
+        parallel = exhaustive(scenario, workers=2)
+        assert counters(serial) == counters(parallel)
+        assert (sorted({v.property_name for v in serial.violations})
+                == sorted({v.property_name for v in parallel.violations}))
+        # The workers' hot-path counters ride back to the master.
+        assert parallel.hash_misses > 0
+        assert parallel.cow_copied > 0
+
+    @requires_fork
+    def test_batch_knobs_do_not_change_the_space(self):
+        scenario = scenarios.pyswitch_direct_path()
+        default = exhaustive(scenario, workers=2)
+        tiny_batches = exhaustive(scenario, workers=2, batch_groups=1,
+                                  batch_nodes=1)
+        assert counters(default) == counters(tiny_batches)
+
+
+class TestDigestRecomputation:
+    """One-component transitions re-hash one component."""
+
+    def test_host_move_recomputes_exactly_one_digest(self):
+        scenario = scenarios.pyswitch_mobile()
+        system = with_config(scenario).system_factory()
+        system.state_hash()  # warm every component digest
+        child = system.clone()
+        moves = [t for t in child.enabled_transitions()
+                 if t.kind == tk.HOST_MOVE]
+        assert moves, "pyswitch-mobile must offer a host_move transition"
+        child.execute(moves[0])
+        stats = child._hash_stats
+        hits, misses = stats.hits, stats.misses
+        child.state_hash()
+        # host_move touches one host (plus the unmemoized attachment tail):
+        # exactly one component digest recomputed, all others cache hits.
+        assert stats.misses - misses == 1
+        components = len(child.switches) + len(child.hosts) + 2  # app+ledger
+        assert stats.hits - hits == components - 1
+
+    def test_unchanged_state_rehash_is_all_hits(self):
+        system = with_config(scenarios.pyswitch_direct_path()).system_factory()
+        first = system.state_hash()
+        stats = system._hash_stats
+        misses = stats.misses
+        assert system.state_hash() == first
+        assert stats.misses == misses
+
+    def test_full_mode_reproduces_legacy_md5(self):
+        scenario = scenarios.pyswitch_direct_path()
+        system = with_config(scenario, hash_mode="full").system_factory()
+        expected = hashlib.md5(
+            repr(system.canonical_state()).encode()).hexdigest()
+        assert system.state_hash() == expected
+
+    def test_hash_modes_induce_the_same_partition(self):
+        scenario = scenarios.pyswitch_loop()
+        digest_sys = with_config(scenario).system_factory()
+        full_sys = with_config(scenario, hash_mode="full").system_factory()
+        transition = digest_sys.enabled_transitions()[0]
+        a, b = digest_sys.clone(), digest_sys.clone()
+        a.execute(transition)
+        b.execute(transition)
+        assert a.state_hash() == b.state_hash()
+        full_child = full_sys.clone()
+        full_child.execute(transition)
+        assert full_child.state_hash() != full_sys.state_hash()
+        assert a.state_hash() != digest_sys.state_hash()
+
+
+class TestCanonicalizeFastPath:
+    """Plain sort on string keys must equal the repr-keyed slow path."""
+
+    @staticmethod
+    def slow_canonicalize_dict(d):
+        items = [(canonicalize(k), canonicalize(v)) for k, v in d.items()]
+        items.sort(key=lambda kv: repr(kv[0]))
+        return ("dict",) + tuple(items)
+
+    @pytest.mark.parametrize("data", [
+        {"rx_packets": 1, "tx_packets": 2, "rx_bytes": 3, "tx_bytes": 4},
+        {"s1": {"00:01": 1}, "s2": {}, "s10": {"00:02": 2}},
+        {"a": 1, "ab": 2, "a(": 3, "a~": 4, "A": 5, "z": 6, "_": 7},
+        {"": 0, "x": 1},
+    ])
+    def test_string_key_dicts_pin_against_slow_path(self, data):
+        assert canonicalize(data) == self.slow_canonicalize_dict(data)
+        assert (state_string(data)
+                == repr(self.slow_canonicalize_dict(data)))
+
+    def test_unsafe_keys_take_the_slow_path_and_still_pin(self):
+        # '!' and ' ' sort below repr's closing quote; quotes and escapes
+        # render escaped — all must reproduce the repr-keyed order.
+        data = {"a": 1, "a!": 2, "a b": 3, "a'": 4, 'a"': 5, "a\\": 6}
+        assert any(not _safe_string_key(k) for k in data)
+        assert canonicalize(data) == self.slow_canonicalize_dict(data)
+
+    def test_non_string_keys_unchanged(self):
+        data = {(0, 1): "x", (0, 0, 2): "y", 3: "z"}
+        assert canonicalize(data) == self.slow_canonicalize_dict(data)
+
+    def test_safe_key_predicate(self):
+        assert _safe_string_key("rx_packets")
+        assert _safe_string_key("00:00:00:00:00:01")
+        assert not _safe_string_key("a b")      # space < "'"
+        assert not _safe_string_key("a!")       # '!' < "'"
+        assert not _safe_string_key("don't")    # quote renders escaped
+        assert not _safe_string_key("a\\b")     # backslash escapes
+        assert not _safe_string_key(b"bytes")   # not a str
+
+
+class TestSearchOrderFrontiers:
+    """The deque frontier preserves exploration semantics."""
+
+    def test_bfs_explores_the_same_space_as_dfs(self):
+        scenario = scenarios.pyswitch_direct_path()
+        dfs = exhaustive(scenario)
+        bfs = exhaustive(scenario, search_order="bfs")
+        # Exhaustive searches visit the same states whatever the order.
+        assert bfs.unique_states == dfs.unique_states
+        assert bfs.transitions_executed == dfs.transitions_executed
+        assert bfs.quiescent_states == dfs.quiescent_states
+
+    def test_random_order_still_works(self):
+        scenario = scenarios.pyswitch_direct_path()
+        random_run = exhaustive(scenario, search_order="random", seed=3)
+        dfs = exhaustive(scenario)
+        assert random_run.unique_states == dfs.unique_states
+
+
+class TestConfigKnobs:
+    def test_new_fields_validate(self):
+        with pytest.raises(ValueError):
+            NiceConfig(hash_mode="middle-out")
+        with pytest.raises(ValueError):
+            NiceConfig(batch_groups=0)
+        with pytest.raises(ValueError):
+            NiceConfig(batch_nodes=0)
+        config = NiceConfig()
+        assert config.cow_clone and config.hash_mode == "digest"
+        assert config.batch_groups == 8 and config.batch_nodes == 16
+
+    def test_cli_plumbs_the_new_flags(self):
+        from repro.cli import build_parser, make_config
+
+        args = build_parser().parse_args(
+            ["run", "ping", "--hash-mode", "full", "--no-cow-clone",
+             "--batch-groups", "4", "--batch-nodes", "32"])
+        config = make_config(args)
+        assert config.hash_mode == "full"
+        assert not config.cow_clone
+        assert config.batch_groups == 4
+        assert config.batch_nodes == 32
+
+    def test_stats_surface_hot_path_counters(self):
+        result = exhaustive(scenarios.pyswitch_direct_path())
+        assert result.hash_misses > 0
+        assert result.hash_hits > result.hash_misses
+        assert result.bytes_hashed > 0
+        assert result.cow_copied > 0
+        assert "hot path" in result.summary()
+
+
+class TestComponentCloneContracts:
+    """The pieces the CoW discipline leans on."""
+
+    def test_arp_client_clone_does_not_share_script(self):
+        from repro.hosts.arp import ArpClient
+        from repro.openflow.packet import MacAddress, arp_reply, l2_ping
+
+        mac = MacAddress.from_string("00:00:00:00:00:01")
+        peer = MacAddress.from_string("00:00:00:00:00:02")
+        client = ArpClient("A", mac, 1, target_ip=2,
+                           script=[l2_ping(mac, peer)])
+        clone = client.clone({})
+        clone.deliver(arp_reply(peer, mac, 2, 1))
+        clone.receive()
+        assert len(clone.script) == 2      # data packet released
+        assert len(client.script) == 1     # original untouched
+
+    def test_message_canonical_is_cached_and_seq_free(self):
+        from repro.openflow.messages import BarrierRequest
+
+        message = BarrierRequest(xid=7)
+        first = message.canonical()
+        assert message.canonical() is first
+        message.seq = 99
+        assert message.canonical() is first
+
+    def test_packet_header_cache_survives_identity_mutation(self):
+        from repro.openflow.packet import MacAddress, l2_ping
+
+        packet = l2_ping(MacAddress.from_string("00:00:00:00:00:01"),
+                         MacAddress.from_string("00:00:00:00:00:02"))
+        header = packet.header_tuple()
+        packet.hops.append(("s1", 1))
+        packet.uid = ("A", "sig", 0)
+        assert packet.header_tuple() is header
+        assert packet.canonical()[-1] == (("s1", 1),)
+        copy = packet.copy()
+        assert copy.header_tuple() == header
