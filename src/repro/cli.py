@@ -79,6 +79,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-affinity", action="store_true",
                        help="route sibling groups round-robin instead of to "
                             "the worker whose replay cache holds the parent")
+    run_p.add_argument("--min-workers", type=int,
+                       default=NiceConfig.min_workers, metavar="N",
+                       help="abort (cleanly) if worker deaths shrink the "
+                            "live pool below N workers (default 1: keep "
+                            "searching on the last survivor)")
+    run_p.add_argument("--max-worker-failures", type=int,
+                       default=NiceConfig.max_worker_failures,
+                       metavar="N",
+                       help="tolerate at most N worker deaths before giving "
+                            "up (default: unlimited while min-workers "
+                            "survive; 0 = abort on the first death)")
+    run_p.add_argument("--no-adaptive-batching", action="store_true",
+                       help="use the static --batch-groups/--batch-nodes "
+                            "task sizes instead of adapting them per worker "
+                            "from observed task round-trip times")
     run_p.add_argument("--checkpoint-mode", choices=ALL_CHECKPOINT_MODES,
                        default="deepcopy",
                        help="frontier checkpointing: full deep copies or "
@@ -143,6 +158,9 @@ def make_config(args) -> NiceConfig:
         worker_address=args.listen,
         spawn_socket_workers=not args.external_workers,
         affinity=not args.no_affinity,
+        min_workers=args.min_workers,
+        max_worker_failures=args.max_worker_failures,
+        adaptive_batching=not args.no_adaptive_batching,
         checkpoint_mode=args.checkpoint_mode,
         hash_memoization=not args.no_hash_memoization,
         hash_mode=args.hash_mode,
@@ -169,6 +187,10 @@ def cmd_run(args) -> int:
             ("--listen", args.listen == "127.0.0.1:0"),
             ("--external-workers", not args.external_workers),
             ("--no-affinity", not args.no_affinity),
+            ("--min-workers", args.min_workers == NiceConfig.min_workers),
+            ("--max-worker-failures",
+             args.max_worker_failures == NiceConfig.max_worker_failures),
+            ("--no-adaptive-batching", not args.no_adaptive_batching),
             ("--batch-groups", args.batch_groups == NiceConfig.batch_groups),
             ("--batch-nodes", args.batch_nodes == NiceConfig.batch_nodes),
         ] if not is_default]
@@ -191,6 +213,12 @@ def cmd_run(args) -> int:
             "hash_misses": result.hash_misses,
             "bytes_hashed": result.bytes_hashed,
             "cow_copied": result.cow_copied,
+            "worker_failures": result.worker_failures,
+            "tasks_retried": result.tasks_retried,
+            "groups_reassigned": result.groups_reassigned,
+            "elastic_joins": result.elastic_joins,
+            "worker_tasks": {str(w): n
+                             for w, n in sorted(result.worker_tasks.items())},
             "violations": [
                 {"property": v.property_name, "message": v.message,
                  "trace_length": len(v.trace)}

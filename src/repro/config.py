@@ -150,8 +150,21 @@ class NiceConfig:
       when that is off too) — the measurable baselines.
     * ``batch_groups`` / ``batch_nodes`` — parallel-scheduler task sizing:
       at most ``batch_groups`` sibling groups and ``batch_nodes`` total
-      nodes are packed into one worker task (groundwork for adaptive batch
-      sizing; see ROADMAP).
+      nodes are packed into one worker task.  With ``adaptive_batching``
+      off these static values are used verbatim (the measurable baseline).
+    * ``adaptive_batching`` — let the scheduler adapt the per-worker batch
+      size from observed task round-trip times (DESIGN.md, "Fault
+      tolerance and elasticity"): fast round trips grow a worker's batch
+      (amortizing per-task overhead — the sweet spot for high-RTT socket
+      workers), slow ones shrink it back toward fine-grained load
+      balancing.  ``batch_groups``/``batch_nodes`` seed the initial size.
+    * ``min_workers`` — fault-tolerance floor: a clean error is raised if
+      worker deaths shrink the live pool below this many workers (the
+      default ``1`` keeps searching on the last surviving worker).
+    * ``max_worker_failures`` — how many worker deaths the scheduler
+      tolerates before giving up; ``None`` (the default) tolerates any
+      number while ``min_workers`` workers survive, ``0`` restores the
+      pre-PR 4 abort-on-first-death behavior.
     * ``seed`` — seed for the random-walk frontier.
     """
 
@@ -189,6 +202,9 @@ class NiceConfig:
     cow_clone: bool = True
     batch_groups: int = 8
     batch_nodes: int = 16
+    adaptive_batching: bool = True
+    min_workers: int = 1
+    max_worker_failures: int | None = None
     seed: int = 0
     extra: dict = field(default_factory=dict)
 
@@ -234,3 +250,8 @@ class NiceConfig:
             raise ValueError("batch_groups must be >= 1")
         if self.batch_nodes < 1:
             raise ValueError("batch_nodes must be >= 1")
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_worker_failures is not None \
+                and self.max_worker_failures < 0:
+            raise ValueError("max_worker_failures must be >= 0 or None")

@@ -1,5 +1,5 @@
 """Transport-agnostic parallel search scheduler (DESIGN.md, "Scheduler
-and transports").
+and transports" and "Fault tolerance and elasticity").
 
 The master owns the explored-state set and a frontier of **sibling
 groups** ``(parent trace, [transitions])`` — trace-replay checkpoints;
@@ -24,11 +24,35 @@ composes with the default ``dfs`` order only: ``bfs`` and ``random``
 frontiers pop from one global queue in frontier order (the policy
 ``Searcher._pop`` applies serially) and route round-robin.
 
+**Worker churn** (PR 4): the pool membership is dynamic.  A worker death
+(process exit, socket EOF — delivered by the transport as a
+:class:`~repro.mc.wire.WorkerGone` event, or discovered at submit time as
+a :class:`~repro.mc.transport.WorkerLost`) requeues the dead worker's
+in-flight sibling groups onto the global queue and folds its affinity
+queue back in; because a group is merged at most once (stale results of
+requeued tasks are dropped by task id), the explored state space stays
+bit-identical to serial under any failure schedule.  The run only aborts
+— with a clean :class:`~repro.mc.transport.TransportError` — when the
+live pool shrinks below ``min_workers`` or more than
+``max_worker_failures`` deaths accumulate.  Symmetrically, an elastic
+socket worker connecting mid-search (:class:`~repro.mc.wire.WorkerJoined`)
+enters the routing tables and receives work on the next dispatch.
+
+**Adaptive batch sizing** (``adaptive_batching``, default on): the
+per-task node/group budgets start from ``batch_nodes``/``batch_groups``
+and adapt per worker from observed task round-trip times — fast round
+trips grow the batch geometrically (amortizing per-task overhead, the
+regime high-RTT socket workers live in), slow ones shrink it back toward
+fine-grained load balancing (which also caps how much work a dying worker
+can strand).  Batch sizing never affects *what* is explored, only how it
+is packed.
+
 Exactness contract (unchanged from PR 1): every (state, transition) pair
 is executed and property-checked exactly once, so for an exhaustive
 search ``unique_states``, ``transitions_executed``, ``revisited_states``
 and ``quiescent_states`` all equal the serial searcher's — on every
-transport and start method.  The set of *violated properties* is likewise
+transport and start method, and under any worker failure/join schedule
+the policy survives.  The set of *violated properties* is likewise
 identical.  Individual violation records can differ from serial DFS in
 their messages and traces whenever a property reads execution *history*
 (packet-fate ledger, packet-in logs): state matching keeps only the first
@@ -40,13 +64,20 @@ condition trips may have executed extra transitions.
 
 from __future__ import annotations
 
+import sys
 import time
 from collections import deque
 
 from repro.config import ORDER_BFS, ORDER_DFS
 from repro.mc.search import Searcher, SearchStats, Violation, _StopSearch
-from repro.mc.transport import TransportError, create_transport
-from repro.mc.wire import ExpandTask, TaskResult, WorkerError
+from repro.mc.transport import TransportError, WorkerLost, create_transport
+from repro.mc.wire import (
+    ExpandTask,
+    TaskResult,
+    WorkerError,
+    WorkerGone,
+    WorkerJoined,
+)
 
 
 class ParallelSearcher(Searcher):
@@ -80,6 +111,16 @@ class _Scheduler:
     #: Tasks kept in flight per worker (>1 hides result latency).
     PER_WORKER_INFLIGHT = 2
 
+    #: Adaptive batching (``NiceConfig.adaptive_batching``): grow a
+    #: worker's batch while its task round trips finish under RTT_LOW
+    #: seconds, shrink while they exceed RTT_HIGH.  The asymmetric step
+    #: (gentle growth, halving shrink) converges without oscillating.
+    RTT_LOW = 0.010
+    RTT_HIGH = 0.100
+    BATCH_GROW = 1.5
+    BATCH_SHRINK = 0.5
+    MAX_BATCH_NODES = 512
+
     def __init__(self, searcher: ParallelSearcher, transport):
         self.searcher = searcher
         self.config = searcher.config
@@ -96,10 +137,29 @@ class _Scheduler:
         self._pending_groups = 0
         self._explored: set = set()
         self._in_flight: dict[int, tuple[int, list]] = {}  # task_id -> (wid, groups)
-        self._load = [0] * transport.workers
+        #: Live pool membership; filled from ``transport.worker_ids()``
+        #: once the transport is up — deaths remove ids, elastic joins add
+        #: them.
+        self._live: set[int] = set()
+        #: Deaths already processed, for deduplication: a submit-time
+        #: WorkerLost and the transport's own WorkerGone can both report
+        #: the same worker.
+        self._dead: set[int] = set()
+        self._load: dict[int, int] = {}
+        #: Per-worker adaptive node budget (float so growth compounds).
+        self._batch: dict[int, float] = {}
+        #: task id -> (submit timestamp, pipelining depth at submit).
+        self._submit_times: dict[int, tuple[float, int]] = {}
         self._next_task_id = 0
         self._next_round_robin = 0
         self.stats = SearchStats()
+        if transport.workers < self.config.min_workers:
+            # An availability floor above the pool size would otherwise be
+            # silently violated for the whole run and only noticed if a
+            # worker happened to die.
+            raise TransportError(
+                f"min_workers={self.config.min_workers} exceeds the"
+                f" configured pool of {transport.workers} worker(s)")
 
     # ------------------------------------------------------------------
     # Main loop
@@ -126,9 +186,14 @@ class _Scheduler:
         # listener or half-started worker outlives the search.
         try:
             self.transport.start(searcher)
+            # Enroll the pool the transport *actually* brought up: the
+            # socket accept barrier can burn ids on workers that die
+            # mid-handshake, so the live ids need not be 0..workers-1.
+            for worker_id in self.transport.worker_ids():
+                self._enroll(worker_id)
             while self._pending_groups or self._in_flight:
                 self._dispatch()
-                self._merge(self._receive())
+                self._handle(self.transport.recv())
         except _StopSearch:
             pass
         finally:
@@ -140,20 +205,107 @@ class _Scheduler:
         stats.add_hash_stats(initial._hash_stats.snapshot())
         return stats
 
-    def _receive(self) -> TaskResult:
-        message = self.transport.recv()
-        if isinstance(message, WorkerError):
+    def _handle(self, message) -> None:
+        if isinstance(message, TaskResult):
+            self._merge(message)
+        elif isinstance(message, WorkerGone):
+            self._on_worker_gone(message.worker_id, message.reason)
+        elif isinstance(message, WorkerJoined):
+            self._on_worker_joined(message.worker_id)
+        elif isinstance(message, WorkerError):
+            # A task that *raised* inside the worker is a deterministic
+            # bug, not churn: retrying it elsewhere would raise the same
+            # way, so surface the traceback instead of looping forever.
             raise TransportError(
                 f"worker {message.worker_id} failed on task"
                 f" {message.task_id}:\n{message.error}")
-        return message
+        else:
+            raise TransportError(f"unexpected transport message {message!r}")
+
+    # ------------------------------------------------------------------
+    # Worker churn
+    # ------------------------------------------------------------------
+
+    def _on_worker_gone(self, worker_id: int, reason: str) -> None:
+        """Requeue a dead worker's work, repair affinity state, and apply
+        the ``min_workers`` / ``max_worker_failures`` policy."""
+        if worker_id in self._dead:
+            return  # duplicate notice (submit failure + transport event)
+        # Deliberately NOT gated on _live membership: a worker that died
+        # in the window between the transport's start() and the
+        # enrollment snapshot was never enrolled, but its death still
+        # shrank the pool and must hit the policy below — otherwise a
+        # 1-worker run whose worker dies in that window would hang in
+        # recv() forever instead of failing cleanly.
+        self._dead.add(worker_id)
+        self._live.discard(worker_id)
+        self._load.pop(worker_id, None)
+        self._batch.pop(worker_id, None)
+        stats = self.stats
+        stats.worker_failures += 1
+        # A tolerated death must still be *visible*: the reason can carry a
+        # startup traceback or a connection error an operator needs even
+        # when the policy lets the search continue.
+        print(f"search worker {worker_id} died"
+              f" ({len(self._live)} worker(s) left); requeueing its work:"
+              f" {reason}", file=sys.stderr, flush=True)
+        # Requeue in-flight sibling groups.  The old task ids are simply
+        # forgotten: a stale result still in the pipe when the death was
+        # detected no longer matches ``_in_flight`` and is dropped, so
+        # every group is merged exactly once — the bit-identical-state-
+        # space guarantee under churn.
+        for task_id in [t for t, (w, _) in self._in_flight.items()
+                        if w == worker_id]:
+            _, groups = self._in_flight.pop(task_id)
+            self._submit_times.pop(task_id, None)
+            stats.tasks_retried += 1
+            for group in groups:
+                stats.groups_reassigned += 1
+                self._push(None, group)
+        # Affinity repair: the dead worker's replay cache is gone, so its
+        # queued groups lose their owner and rejoin the global queue (the
+        # next dispatch re-counts them as affinity misses).
+        orphaned = self._queues.pop(worker_id, None)
+        if orphaned:
+            stats.groups_reassigned += len(orphaned)
+            self._queues[None].extend(orphaned)
+        failures_allowed = self.config.max_worker_failures
+        if failures_allowed is not None \
+                and stats.worker_failures > failures_allowed:
+            raise TransportError(
+                f"giving up after {stats.worker_failures} worker"
+                f" failures (max_worker_failures={failures_allowed});"
+                f" last failure: worker {worker_id}: {reason}")
+        if len(self._live) < self.config.min_workers:
+            raise TransportError(
+                f"worker pool shrank to {len(self._live)} live worker(s),"
+                f" below min_workers={self.config.min_workers}"
+                f" ({stats.worker_failures} failure(s) total);"
+                f" last failure: worker {worker_id}: {reason}")
+
+    def _enroll(self, worker_id: int) -> None:
+        """Enter a worker into the routing tables."""
+        self._live.add(worker_id)
+        self._load[worker_id] = 0
+        self._batch[worker_id] = float(self.config.batch_nodes)
+        self.stats.worker_tasks.setdefault(worker_id, 0)
+
+    def _on_worker_joined(self, worker_id: int) -> None:
+        """Enter an elastic joiner into the routing tables; the next
+        ``_dispatch`` feeds it (an idle joiner steals immediately)."""
+        if worker_id in self._live or worker_id in self._dead:
+            return
+        self._enroll(worker_id)
+        self.stats.elastic_joins += 1
+        self.stats.workers += 1
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
 
     def _push(self, owner: int | None, group: tuple) -> None:
-        if not self._affine:
+        if not self._affine or (owner is not None
+                                and owner not in self._live):
             owner = None
         self._queues.setdefault(owner, deque()).append(group)
         self._pending_groups += 1
@@ -184,12 +336,24 @@ class _Scheduler:
             self._next_task_id += 1
             self._in_flight[task_id] = (worker_id, groups)
             self._load[worker_id] += 1
-            self.transport.submit(worker_id, ExpandTask(task_id, groups))
+            # The pipelining depth at submit time rides along so the RTT
+            # sample can be normalized to per-task service time: a task
+            # submitted behind another in-flight task waits its turn, and
+            # counting that queueing as service time would stop batch
+            # growth at half the intended threshold.
+            self._submit_times[task_id] = (time.monotonic(),
+                                           self._load[worker_id])
+            try:
+                self.transport.submit(worker_id, ExpandTask(task_id, groups))
+            except WorkerLost as lost:
+                # The task is registered in-flight, so the death handler
+                # requeues it along with anything else the worker held.
+                self._on_worker_gone(worker_id, lost.reason)
 
     def _pick_worker(self) -> int | None:
         """Next worker to feed: affine work first, then the least loaded
         (round-robin tie-break keeps spawn-order bias out)."""
-        spare = [w for w in range(len(self._load))
+        spare = [w for w in sorted(self._live)
                  if self._load[w] < self.PER_WORKER_INFLIGHT]
         if not spare:
             return None
@@ -197,29 +361,72 @@ class _Scheduler:
             affine = [w for w in spare if self._queues.get(w)]
             if affine:
                 return min(affine, key=lambda w: self._load[w])
+        modulus = max(self._live) + 1
         choice = min(
             spare,
             key=lambda w: (self._load[w],
-                           (w - self._next_round_robin) % len(self._load)),
+                           (w - self._next_round_robin) % modulus),
         )
-        self._next_round_robin = (choice + 1) % len(self._load)
+        self._next_round_robin = (choice + 1) % modulus
         return choice
 
-    def _pack(self, worker_id: int) -> list:
-        """Pop up to ``batch_groups`` groups (``batch_nodes`` nodes) for one
-        task (``NiceConfig`` fields; groundwork for adaptive batch sizing).
+    def _node_budget(self, worker_id: int) -> int:
+        """Nodes to pack into one task for this worker.
 
         While the explored set is small a task carries a single node, so
         the search fans out across the pool instead of running serially
-        inside one worker.  Groups owned by ``worker_id`` are taken first
-        (affinity hits); an empty own queue steals from the longest other
-        queue (affinity misses).
+        inside one worker.  After that, either the static
+        ``batch_nodes`` (adaptive batching off — the measurable baseline)
+        or the worker's RTT-adapted budget applies.
         """
-        budget = (1 if len(self._explored) < 4 * self.transport.workers
-                  else self.config.batch_nodes)
+        if len(self._explored) < 4 * max(len(self._live), 1):
+            return 1
+        if not self.config.adaptive_batching:
+            return self.config.batch_nodes
+        adapted = max(1, int(self._batch[worker_id]))
+        # Fair-share guard: an RTT-*grown* batch must never swallow so
+        # much of the frontier that the rest of the pool idles — cap each
+        # task at this worker's share of the pending work (group count as
+        # a proxy for nodes).  The cap never bites below the configured
+        # ``batch_nodes`` seed: up to there the static baseline is the
+        # contract, and throttling it would just add per-task overhead.
+        fair = self._pending_groups // (max(len(self._live), 1)
+                                        * self.PER_WORKER_INFLIGHT)
+        return max(1, min(adapted, max(self.config.batch_nodes, fair)))
+
+    def _group_budget(self, worker_id: int, node_budget: int) -> int:
+        """Groups per task: the static cap, or — adaptive — the static
+        groups:nodes ratio applied to the adapted node budget."""
+        if not self.config.adaptive_batching:
+            return self.config.batch_groups
+        ratio = self.config.batch_groups / self.config.batch_nodes
+        return max(1, round(node_budget * ratio))
+
+    def _observe_rtt(self, worker_id: int, rtt: float) -> None:
+        if not self.config.adaptive_batching \
+                or worker_id not in self._batch:
+            return
+        budget = self._batch[worker_id]
+        if rtt < self.RTT_LOW:
+            # The growth ceiling never sits below a larger configured
+            # seed: a fast round trip must not *shrink* --batch-nodes.
+            ceiling = max(float(self.MAX_BATCH_NODES),
+                          float(self.config.batch_nodes))
+            budget = min(budget * self.BATCH_GROW, ceiling)
+        elif rtt > self.RTT_HIGH:
+            budget = max(budget * self.BATCH_SHRINK, 1.0)
+        self._batch[worker_id] = budget
+
+    def _pack(self, worker_id: int) -> list:
+        """Pop up to the worker's group budget (node-budget bounded) for
+        one task.  Groups owned by ``worker_id`` are taken first (affinity
+        hits); an empty own queue steals from the longest other queue
+        (affinity misses)."""
+        budget = self._node_budget(worker_id)
+        group_budget = self._group_budget(worker_id, budget)
         groups: list = []
         nodes = 0
-        while self._pending_groups and len(groups) < self.config.batch_groups \
+        while self._pending_groups and len(groups) < group_budget \
                 and nodes < budget:
             queue, owned = self._source_queue(worker_id)
             trace, steps = self._pop_group(queue)
@@ -259,10 +466,22 @@ class _Scheduler:
 
     def _merge(self, result: TaskResult) -> None:
         """Fold one task's output into the master state."""
+        if result.task_id not in self._in_flight:
+            # A result that outraced its worker's death notice: the task
+            # was already requeued, and merging both copies would double-
+            # count — drop the stale one.
+            return
         worker_id, groups = self._in_flight.pop(result.task_id)
         self._load[worker_id] -= 1
-        out = result.out
+        submitted = self._submit_times.pop(result.task_id, None)
+        if submitted is not None:
+            sent_at, depth = submitted
+            self._observe_rtt(
+                worker_id, (time.monotonic() - sent_at) / max(depth, 1))
         stats = self.stats
+        stats.worker_tasks[worker_id] = \
+            stats.worker_tasks.get(worker_id, 0) + 1
+        out = result.out
         stats.discover_packet_runs += out["discover_packet_runs"]
         stats.discover_stats_runs += out["discover_stats_runs"]
         stats.transitions_executed += out["transitions"]

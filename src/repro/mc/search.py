@@ -79,6 +79,17 @@ class SearchStats:
     ``affinity_misses``) are zero for serial runs; they measure work the
     serial engine does not do and are never counted in
     ``transitions_executed``.
+
+    The churn counters (PR 4, DESIGN.md "Fault tolerance and
+    elasticity") are likewise parallel-only: ``worker_failures`` counts
+    workers that died mid-search, ``tasks_retried`` the in-flight tasks
+    requeued because their worker died, ``groups_reassigned`` the sibling
+    groups that lost their affinity owner (requeued in-flight work plus
+    orphaned affinity queues), and ``elastic_joins`` the workers that
+    connected mid-search.  ``worker_tasks`` maps worker id -> tasks
+    merged from that worker; its values sum to every task the run merged,
+    so per-worker shares (and whether an elastic joiner measurably
+    received work) are auditable after the fact.
     """
 
     def __init__(self):
@@ -107,6 +118,13 @@ class SearchStats:
         #: holds their parent trace vs. groups routed elsewhere.
         self.affinity_hits = 0
         self.affinity_misses = 0
+        #: Worker churn (see class docstring).
+        self.worker_failures = 0
+        self.tasks_retried = 0
+        self.groups_reassigned = 0
+        self.elastic_joins = 0
+        #: worker id -> tasks merged from that worker.
+        self.worker_tasks: dict[int, int] = {}
         #: Per-state hot path (DESIGN.md): component-digest cache hits and
         #: recomputes, bytes of canonical rendering actually hashed, and
         #: components lazily copied by copy-on-write clones.  Summed across
@@ -152,6 +170,12 @@ class SearchStats:
                 f" (cache {self.cache_hits} hits / {self.cache_misses} misses,"
                 f" affinity {self.affinity_hits}/"
                 f"{self.affinity_hits + self.affinity_misses})"
+            ))
+            lines.insert(-1, (
+                f"fault tolerance      : {self.worker_failures} worker"
+                f" failure(s), {self.tasks_retried} task(s) retried,"
+                f" {self.groups_reassigned} group(s) reassigned,"
+                f" {self.elastic_joins} elastic join(s)"
             ))
         for violation in self.violations[:5]:
             lines.append(f"  - {violation.property_name}: {violation.message}")

@@ -30,11 +30,33 @@ from repro.mc.wire import spec_is_portable
 
 
 class TransportError(RuntimeError):
-    """A transport could not start or lost its workers mid-search."""
+    """A transport could not start, or the scheduler's fault-tolerance
+    policy (``min_workers`` / ``max_worker_failures``) gave up the run."""
+
+
+class WorkerLost(Exception):
+    """Raised by :meth:`Transport.submit` when the target worker is found
+    dead at submission time.  Recoverable: the scheduler treats it exactly
+    like a :class:`~repro.mc.wire.WorkerGone` event and requeues the task
+    it was submitting."""
+
+    def __init__(self, worker_id: int, reason: str):
+        super().__init__(f"worker {worker_id} lost: {reason}")
+        self.worker_id = worker_id
+        self.reason = reason
 
 
 class Transport:
-    """Scheduler-facing interface; see module docstring."""
+    """Scheduler-facing interface; see module docstring.
+
+    Worker churn is part of the interface: ``recv()`` may yield
+    :class:`~repro.mc.wire.WorkerGone` (a worker died — the scheduler
+    requeues its work) and :class:`~repro.mc.wire.WorkerJoined` (an
+    elastic worker connected mid-search) alongside task results, and
+    ``submit()`` may raise :class:`WorkerLost`.  A transport must never
+    *raise* for a single dead worker — only the scheduler's policy decides
+    whether churn is fatal.
+    """
 
     #: Human-readable engine name surfaced in SearchStats ("local-fork",
     #: "local-spawn", "socket").
@@ -47,16 +69,36 @@ class Transport:
         """Bring up ``self.workers`` workers, ready for tasks."""
         raise NotImplementedError
 
+    def worker_ids(self):
+        """The ids of the workers actually serving once ``start()``
+        returned — what the scheduler enrolls as its initial live pool.
+        The socket transport overrides this: a worker that handshakes and
+        dies *during* the accept barrier burns its id, so the admitted ids
+        need not be ``0..workers-1``."""
+        return range(self.workers)
+
     def submit(self, worker_id: int, task) -> None:
-        """Send an :class:`~repro.mc.wire.ExpandTask` to one worker."""
+        """Send an :class:`~repro.mc.wire.ExpandTask` to one worker;
+        raises :class:`WorkerLost` if that worker is already dead."""
         raise NotImplementedError
 
     def recv(self):
-        """Block until any worker returns a TaskResult or WorkerError."""
+        """Block until any worker yields a TaskResult, WorkerError,
+        WorkerGone, or WorkerJoined."""
         raise NotImplementedError
 
     def stop(self) -> None:
         """Tear the workers down; safe to call with tasks in flight."""
+        raise NotImplementedError
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Forcibly kill one worker (SIGKILL / connection teardown).
+
+        The fault-injection hook behind the chaos test suite
+        (``tests/test_fault_tolerance.py``) — and a convenient lever for
+        operators draining a host.  The death surfaces through ``recv()``
+        as a normal :class:`~repro.mc.wire.WorkerGone` event.
+        """
         raise NotImplementedError
 
 

@@ -2,8 +2,14 @@
 
 Unlike PR 1's ``ProcessPoolExecutor`` pool, every worker has its *own*
 task queue, because affinity scheduling must address a specific worker —
-the one whose replay LRU holds a group's parent trace.  A single shared
-result queue carries completions back.
+the one whose replay LRU holds a group's parent trace.  Results travel on
+a *per-worker pipe* rather than one shared queue: a worker killed mid-write
+(the fault-injection tests do exactly that) can only corrupt its own
+channel, which the master reads as that worker's death — never garbage on
+a channel other workers still need.  A closed pipe is also an immediate,
+poll-free death signal: ``recv()`` wakes on EOF the moment the process
+exits and reports a :class:`~repro.mc.wire.WorkerGone` event for the
+scheduler to requeue the dead worker's tasks.
 
 Two start methods:
 
@@ -19,16 +25,16 @@ Two start methods:
 from __future__ import annotations
 
 import multiprocessing
-import queue as queue_mod
+from multiprocessing import connection as mp_connection
 
 from repro.mc import worker as worker_mod
-from repro.mc.transport import Transport, TransportError
-from repro.mc.wire import ExpandTask, Shutdown, WorkerError
+from repro.mc.transport import Transport, WorkerLost
+from repro.mc.wire import ExpandTask, Shutdown, WorkerError, WorkerGone
 from repro.mc.worker import local_worker_main
 
 
 class LocalTransport(Transport):
-    """``workers`` child processes, one task queue each."""
+    """``workers`` child processes, one task queue and result pipe each."""
 
     #: Seconds to wait for a clean worker exit before terminating it.
     JOIN_TIMEOUT = 5.0
@@ -40,51 +46,90 @@ class LocalTransport(Transport):
         self.spec = spec
         self._processes: list = []
         self._task_queues: list = []
-        self._result_queue = None
+        #: Master-side result ends, worker id -> Connection; dead workers'
+        #: entries are dropped so ``recv`` never re-polls a broken pipe.
+        self._result_conns: dict[int, object] = {}
 
     def start(self, searcher) -> None:
         context = multiprocessing.get_context(self.start_method)
-        # A real Queue (not SimpleQueue): recv() needs a timeout so a
-        # worker that dies without reporting never hangs the master.
-        self._result_queue = context.Queue()
         inherit = self.spec is None
         if inherit:
             worker_mod._INHERITED_SEARCHER = searcher
         try:
             for worker_id in range(self.workers):
                 task_queue = context.SimpleQueue()
+                recv_end, send_end = context.Pipe(duplex=False)
                 process = context.Process(
                     target=local_worker_main,
-                    args=(worker_id, task_queue, self._result_queue,
-                          self.spec),
+                    args=(worker_id, task_queue, send_end, self.spec),
                     daemon=True,
                 )
                 process.start()
+                # The child holds the only live send end now; closing ours
+                # makes the pipe EOF the instant the child dies.
+                send_end.close()
                 self._task_queues.append(task_queue)
+                self._result_conns[worker_id] = recv_end
                 self._processes.append(process)
         finally:
             if inherit:
                 worker_mod._INHERITED_SEARCHER = None
 
     def submit(self, worker_id: int, task: ExpandTask) -> None:
+        if worker_id not in self._result_conns:
+            raise WorkerLost(worker_id, "already reported dead")
+        process = self._processes[worker_id]
+        if not process.is_alive():
+            raise WorkerLost(worker_id,
+                             f"process exited with code {process.exitcode}")
         self._task_queues[worker_id].put(task)
 
     def recv(self):
         while True:
+            ready = mp_connection.wait(
+                list(self._result_conns.values()), timeout=1.0)
+            if not ready:
+                # EOF normally reports deaths instantly; this poll is a
+                # backstop for a worker wedged without closing its pipe.
+                for worker_id in list(self._result_conns):
+                    process = self._processes[worker_id]
+                    if not process.is_alive():
+                        return self._reap(
+                            worker_id,
+                            f"process exited with code {process.exitcode}")
+                continue
+            conn = ready[0]
+            worker_id = next(w for w, c in self._result_conns.items()
+                             if c is conn)
             try:
-                result = self._result_queue.get(timeout=1.0)
-                break
-            except queue_mod.Empty:
-                dead = [(i, p.exitcode) for i, p in
-                        enumerate(self._processes) if not p.is_alive()]
-                if dead:
-                    raise TransportError(
-                        f"worker process(es) died without reporting:"
-                        f" {dead} (id, exit code)") from None
-        if isinstance(result, WorkerError) and result.task_id is None:
-            raise TransportError(
-                f"worker {result.worker_id} failed to start:\n{result.error}")
-        return result
+                result = conn.recv()
+            except (EOFError, OSError) as exc:
+                process = self._processes[worker_id]
+                process.join(timeout=self.JOIN_TIMEOUT)
+                reason = (f"process exited with code {process.exitcode}"
+                          if not process.is_alive()
+                          else f"result pipe broke: {exc!r}")
+                return self._reap(worker_id, reason)
+            except Exception as exc:  # noqa: BLE001 - killed mid-write
+                return self._reap(
+                    worker_id, f"undecodable result (killed mid-write?):"
+                               f" {exc!r}")
+            if isinstance(result, WorkerError) and result.task_id is None:
+                return self._reap(
+                    worker_id, f"failed to start:\n{result.error}")
+            return result
+
+    def _reap(self, worker_id: int, reason: str) -> WorkerGone:
+        """Drop a dead worker's channel and report the death exactly once."""
+        conn = self._result_conns.pop(worker_id)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        return WorkerGone(worker_id, reason)
+
+    def kill_worker(self, worker_id: int) -> None:
+        self._processes[worker_id].kill()
 
     def stop(self) -> None:
         for queue, process in zip(self._task_queues, self._processes):
@@ -96,15 +141,18 @@ class LocalTransport(Transport):
         for process in self._processes:
             process.join(timeout=self.JOIN_TIMEOUT)
             if process.is_alive():
-                # A worker mid-task can block writing a large result to the
-                # shared pipe once the master stops reading; it holds no
-                # state the master needs, so cut it loose.
+                # A worker mid-task can block writing a large result to its
+                # pipe once the master stops reading; it holds no state the
+                # master needs, so cut it loose.
                 process.terminate()
                 process.join(timeout=self.JOIN_TIMEOUT)
         for queue in self._task_queues:
             queue.close()
-        if self._result_queue is not None:
-            self._result_queue.cancel_join_thread()
-            self._result_queue.close()
+        for conn in self._result_conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
         self._processes.clear()
         self._task_queues.clear()
+        self._result_conns.clear()

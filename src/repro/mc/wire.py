@@ -13,6 +13,14 @@ protocol:
 * task/result messages — :class:`Hello`, :class:`InitWorker`,
   :class:`ExpandTask`, :class:`TaskResult`, :class:`WorkerError`,
   :class:`Shutdown`;
+* pool-membership events — :class:`WorkerGone` and :class:`WorkerJoined`.
+  Transports translate their own failure signals (a dead child process,
+  a socket EOF, a connection reset) into :class:`WorkerGone` so the
+  scheduler sees one churn vocabulary regardless of transport; an elastic
+  socket worker connecting mid-search surfaces as :class:`WorkerJoined`.
+  The scheduler reacts by requeueing the dead worker's in-flight sibling
+  groups (or feeding the joiner) — see DESIGN.md, "Fault tolerance and
+  elasticity";
 * length-prefixed pickle framing (:func:`send_msg` / :func:`recv_msg`) for
   the socket transport.  Pickle is the serializer because tasks and results
   are trees of pure-data model objects (:class:`~repro.mc.transitions.Transition`,
@@ -31,7 +39,8 @@ from repro.config import NiceConfig
 
 #: Bump when the task/result layout changes; Hello carries it so a stale
 #: remote worker fails fast instead of mis-decoding tasks.
-PROTOCOL_VERSION = 1
+#: v2: Hello carries host/pid (elastic joins + fault-injection hooks).
+PROTOCOL_VERSION = 2
 
 _HEADER = struct.Struct("!I")
 
@@ -108,9 +117,17 @@ def searcher_from_spec(spec: ScenarioSpec):
 
 @dataclass
 class Hello:
-    """Worker -> master, first message after connecting."""
+    """Worker -> master, first message after connecting.
+
+    ``host``/``pid`` identify the worker process: they are logged when an
+    elastic worker joins a live run, and ``pid`` is what lets the master
+    kill a co-located worker (the fault-injection hook
+    ``Transport.kill_worker`` used by the chaos tests).
+    """
 
     protocol: int = PROTOCOL_VERSION
+    host: str = ""
+    pid: int = 0
 
 
 @dataclass
@@ -154,6 +171,27 @@ class WorkerError:
 @dataclass
 class Shutdown:
     """Master -> worker: exit cleanly."""
+
+
+@dataclass
+class WorkerGone:
+    """Transport -> scheduler: a worker died (process exit, socket EOF,
+    reset, or startup failure).  Not fatal by itself — the scheduler
+    requeues the worker's in-flight groups and applies the
+    ``min_workers``/``max_worker_failures`` policy."""
+
+    worker_id: int
+    reason: str
+
+
+@dataclass
+class WorkerJoined:
+    """Transport -> scheduler: an elastic worker connected mid-search and
+    completed the Hello/Init handshake; it is ready for tasks."""
+
+    worker_id: int
+    host: str = ""
+    pid: int = 0
 
 
 # ----------------------------------------------------------------------

@@ -214,19 +214,22 @@ class _StatsSink:
 # Process entry points
 # ----------------------------------------------------------------------
 
-def local_worker_main(worker_id: int, task_queue, result_queue, spec) -> None:
+def local_worker_main(worker_id: int, task_queue, result_conn, spec) -> None:
     """Entry point of a local-transport worker process.
 
     ``spec`` is None under ``fork`` (the searcher is inherited via
     :data:`_INHERITED_SEARCHER`); under ``spawn`` it is the pickled
-    :class:`~repro.mc.wire.ScenarioSpec` to rebuild from.
+    :class:`~repro.mc.wire.ScenarioSpec` to rebuild from.  ``result_conn``
+    is this worker's private result pipe — per-worker channels are what
+    lets the master survive a worker killed mid-write (see
+    ``repro/mc/transport/local.py``).
     """
     try:
         searcher = (_INHERITED_SEARCHER if spec is None
                     else searcher_from_spec(spec))
         runtime = WorkerRuntime(searcher)
     except Exception:  # noqa: BLE001 - report startup failure to the master
-        result_queue.put(WorkerError(None, worker_id, traceback.format_exc()))
+        result_conn.send(WorkerError(None, worker_id, traceback.format_exc()))
         return
     while True:
         message = task_queue.get()
@@ -234,11 +237,16 @@ def local_worker_main(worker_id: int, task_queue, result_queue, spec) -> None:
             return
         try:
             out = runtime.expand(message.groups)
-            result_queue.put(TaskResult(message.task_id, worker_id, out))
+            reply = TaskResult(message.task_id, worker_id, out)
         except Exception:  # noqa: BLE001 - surface the traceback
-            result_queue.put(
-                WorkerError(message.task_id, worker_id,
-                            traceback.format_exc()))
+            reply = WorkerError(message.task_id, worker_id,
+                                traceback.format_exc())
+        try:
+            result_conn.send(reply)
+        except OSError:
+            # The master stopped reading (early stop, or it gave up on the
+            # pool): its search is over, so are we.
+            return
 
 
 #: Seconds a connecting worker waits for the master's InitWorker reply —
@@ -249,8 +257,11 @@ INIT_TIMEOUT = 30.0
 
 def socket_worker_loop(sock) -> None:
     """Serve one master over a connected socket until Shutdown/EOF."""
+    import os
+    import socket as socket_mod
+
     sock.settimeout(INIT_TIMEOUT)
-    send_msg(sock, Hello())
+    send_msg(sock, Hello(host=socket_mod.gethostname(), pid=os.getpid()))
     init = recv_msg(sock)
     if not isinstance(init, InitWorker):
         raise ConnectionError(f"expected InitWorker, got {init!r}")

@@ -1,0 +1,47 @@
+"""Shared helpers pinning the search exactness contract (one definition
+for every suite).
+
+``counters`` is *the* equality tuple of the parallel/baseline contracts
+(DESIGN.md): exhaustive runs must match the serial engine on it exactly,
+on every transport, under every checkpoint/hash/clone knob, and — since
+PR 4 — under any worker failure or elastic-join schedule.  Changing this
+tuple changes what every differential suite in the repo asserts, which
+is exactly why it lives in one place.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro import nice
+from repro.scenarios import with_config
+
+requires_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="requires the fork start method")
+
+
+def exhaustive(scenario, **overrides):
+    return nice.run(with_config(scenario, stop_at_first_violation=False,
+                                **overrides))
+
+
+def counters(result):
+    return (result.unique_states, result.transitions_executed,
+            result.quiescent_states, result.revisited_states,
+            result.terminated)
+
+
+def violated_properties(result):
+    return sorted({v.property_name for v in result.violations})
+
+
+def violation_messages(result):
+    return sorted((v.property_name, v.message) for v in result.violations)
+
+
+def violation_states(result):
+    return sorted({(v.property_name, v.state_hash)
+                   for v in result.violations})

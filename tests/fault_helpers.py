@@ -1,0 +1,106 @@
+"""Tests-only fault-injection wrappers for the parallel-search transports.
+
+:class:`ChaosTransport` wraps a real transport and kills a scheduled
+worker after the Nth task submission, through the transport's own
+``kill_worker`` hook (SIGKILL for local pools and co-located socket
+workers, connection teardown for remote ones).  The death then travels
+the production path — pipe EOF / socket reset -> ``WorkerGone`` ->
+scheduler requeue — which is exactly what the chaos suite wants to
+exercise; nothing here touches scheduler internals.
+
+:class:`ElasticJoiner` wraps a :class:`SocketTransport` and, after the
+Nth submission, launches one extra ``nice worker`` aimed at the live
+master, blocking until the elastic accept loop admits it — making
+"a worker joins mid-search" deterministic instead of a sleep-and-hope
+race.
+
+Both install via :func:`install`, which monkeypatches the scheduler's
+``create_transport`` seam.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.mc import scheduler as scheduler_mod
+from repro.mc.transport import create_transport
+
+
+class _TransportWrapper:
+    """Delegate everything to the wrapped transport except ``submit``."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def submit(self, worker_id, task):
+        self._inner.submit(worker_id, task)
+        self._after_submit()
+
+    def _after_submit(self):
+        raise NotImplementedError
+
+
+class ChaosTransport(_TransportWrapper):
+    """Kill worker K after the Nth successful task submission.
+
+    ``schedule`` maps submission count -> victim worker id, e.g.
+    ``{3: 0, 6: 1}`` kills worker 0 after the 3rd submit and worker 1
+    after the 6th.
+    """
+
+    def __init__(self, inner, schedule: dict[int, int]):
+        super().__init__(inner)
+        self._schedule = dict(schedule)
+        self._submitted = 0
+        #: Victims actually killed, for test-side assertions.
+        self.killed: list[int] = []
+
+    def _after_submit(self):
+        self._submitted += 1
+        victim = self._schedule.pop(self._submitted, None)
+        if victim is not None:
+            self._inner.kill_worker(victim)
+            self.killed.append(victim)
+
+
+class ElasticJoiner(_TransportWrapper):
+    """Launch one extra socket worker after the Nth submission and wait
+    until the master's elastic accept loop has admitted it."""
+
+    JOIN_TIMEOUT = 30.0
+
+    def __init__(self, inner, after: int):
+        super().__init__(inner)
+        self._after = after
+        self._submitted = 0
+        #: Worker ids present before the join, for test-side assertions.
+        self.initial_workers: set[int] = set()
+
+    def _after_submit(self):
+        self._submitted += 1
+        if self._submitted != self._after:
+            return
+        inner = self._inner
+        self.initial_workers = set(inner._connections)
+        inner.spawn_worker()
+        deadline = time.monotonic() + self.JOIN_TIMEOUT
+        while time.monotonic() < deadline:
+            if set(inner._connections) - self.initial_workers:
+                return
+            time.sleep(0.01)
+        raise AssertionError(
+            f"elastic worker did not join within {self.JOIN_TIMEOUT:.0f}s")
+
+
+def install(monkeypatch, wrap):
+    """Monkeypatch the scheduler's ``create_transport`` so every transport
+    it builds is passed through ``wrap`` (e.g. ``lambda t:
+    ChaosTransport(t, {3: 0})``)."""
+    def wrapped(config, spec):
+        transport = create_transport(config, spec)
+        return None if transport is None else wrap(transport)
+
+    monkeypatch.setattr(scheduler_mod, "create_transport", wrapped)

@@ -1,15 +1,11 @@
 """Tests for the command-line front end."""
 
 import json
-import multiprocessing
 
 import pytest
 
+from contract import requires_fork
 from repro.cli import build_parser, main
-
-requires_fork = pytest.mark.skipif(
-    "fork" not in multiprocessing.get_all_start_methods(),
-    reason="asserts the fork engine name in the output")
 
 
 class TestParser:
@@ -43,6 +39,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(
                 ["run", "pyswitch-loop", "--transport", "smoke-signal"])
+
+    def test_fault_tolerance_flags(self):
+        args = build_parser().parse_args(
+            ["run", "pyswitch-loop", "--workers", "4", "--min-workers", "2",
+             "--max-worker-failures", "3", "--no-adaptive-batching"])
+        assert args.min_workers == 2
+        assert args.max_worker_failures == 3
+        assert args.no_adaptive_batching
+
+    def test_fault_tolerance_defaults(self):
+        args = build_parser().parse_args(["run", "pyswitch-loop"])
+        assert args.min_workers == 1
+        assert args.max_worker_failures is None
+        assert not args.no_adaptive_batching
 
     def test_worker_requires_connect(self):
         with pytest.raises(SystemExit):
@@ -86,11 +96,28 @@ class TestCommands:
         assert "restoration" in out
 
     @requires_fork
+    def test_run_workers_renders_fault_tolerance_counters(self, capsys):
+        main(["run", "pyswitch-loop", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert "fault tolerance      : 0 worker failure(s)" in out
+        assert "0 elastic join(s)" in out
+
+    @requires_fork
     def test_run_json_reports_engine(self, capsys):
         main(["run", "pyswitch-loop", "--workers", "2", "--json"])
         payload = json.loads(capsys.readouterr().out)
         assert payload["engine"] == "local-fork"
         assert payload["workers"] == 2
+
+    @requires_fork
+    def test_run_json_reports_churn_counters(self, capsys):
+        main(["run", "ping", "--pings", "1", "--workers", "2", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["worker_failures"] == 0
+        assert payload["tasks_retried"] == 0
+        assert payload["elastic_joins"] == 0
+        assert set(payload["worker_tasks"]) == {"0", "1"}
+        assert sum(payload["worker_tasks"].values()) > 0
 
     def test_run_with_trace(self, capsys):
         main(["run", "pyswitch-loop", "--trace"])

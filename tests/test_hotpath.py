@@ -19,37 +19,21 @@ Contracts under test (DESIGN.md, "Per-state hot path"):
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
 
 import pytest
 
-from repro import nice, scenarios
+from contract import counters, exhaustive, requires_fork
+from repro import scenarios
 from repro.config import NiceConfig
 from repro.mc import transitions as tk
 from repro.mc.canonical import _safe_string_key, canonicalize, state_string
 from repro.scenarios import REGISTRY, with_config
-
-requires_fork = pytest.mark.skipif(
-    "fork" not in multiprocessing.get_all_start_methods(),
-    reason="parallel engine requires the fork start method",
-)
 
 #: Baseline knobs: the engine exactly as it ran before this change —
 #: eager component clones, full md5-over-repr hashing.
 PRE_COW = dict(cow_clone=False, hash_mode="full")
 #: The seed-equivalent engine (deepcopy checkpointing, no memoization).
 DEEPCOPY = dict(cow_clone=False, fast_clone=False)
-
-
-def exhaustive(scenario, **overrides):
-    return nice.run(with_config(scenario, stop_at_first_violation=False,
-                                **overrides))
-
-
-def counters(result):
-    return (result.unique_states, result.transitions_executed,
-            result.quiescent_states, result.revisited_states,
-            result.terminated)
 
 
 def all_scenarios():

@@ -22,6 +22,13 @@ import multiprocessing
 
 import pytest
 
+from contract import (
+    counters,
+    exhaustive,
+    violated_properties,
+    violation_messages,
+    violation_states,
+)
 from repro import nice, scenarios
 from repro.mc.parallel import ParallelSearcher
 from repro.mc.search import Searcher
@@ -31,30 +38,6 @@ pytestmark = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
     reason="parallel engine requires the fork start method",
 )
-
-
-def exhaustive(scenario, **overrides):
-    return nice.run(with_config(scenario, stop_at_first_violation=False,
-                                **overrides))
-
-
-def counters(result):
-    return (result.unique_states, result.transitions_executed,
-            result.quiescent_states, result.revisited_states,
-            result.terminated)
-
-
-def violation_messages(result):
-    return sorted((v.property_name, v.message) for v in result.violations)
-
-
-def violated_properties(result):
-    return sorted({v.property_name for v in result.violations})
-
-
-def violation_states(result):
-    return sorted({(v.property_name, v.state_hash)
-                   for v in result.violations})
 
 
 class TestSerialCheckpointModes:

@@ -11,11 +11,11 @@ fork-only suite (``tests/test_parallel_search.py``) opened.
 
 from __future__ import annotations
 
-import multiprocessing
 import socket as socket_mod
 
 import pytest
 
+from contract import counters, exhaustive, requires_fork, violated_properties
 from repro import nice, scenarios
 from repro.config import NiceConfig
 from repro.mc import wire
@@ -23,26 +23,6 @@ from repro.mc.scheduler import ParallelSearcher
 from repro.mc.transport.socket import parse_address
 from repro.nice import Scenario
 from repro.scenarios import with_config
-
-
-requires_fork = pytest.mark.skipif(
-    "fork" not in multiprocessing.get_all_start_methods(),
-    reason="asserts the fork fallback path")
-
-
-def exhaustive(scenario, **overrides):
-    return nice.run(with_config(scenario, stop_at_first_violation=False,
-                                **overrides))
-
-
-def counters(result):
-    return (result.unique_states, result.transitions_executed,
-            result.quiescent_states, result.revisited_states,
-            result.terminated)
-
-
-def violated_properties(result):
-    return sorted({v.property_name for v in result.violations})
 
 
 @pytest.fixture(scope="module")
@@ -144,8 +124,14 @@ class TestFallbackWarnings:
 # ----------------------------------------------------------------------
 
 class TestReplayCache:
+    """Restoration-work measurements pin ``adaptive_batching=False``:
+    they characterize the *static* batch-size baseline (adaptive batching
+    grows batches until replay all but disappears, which is the point of
+    adaptive batching but not of these tests)."""
+
     def test_cache_counters_exposed_in_stats(self, serial_direct_path):
-        result = exhaustive(scenarios.pyswitch_direct_path(), workers=2)
+        result = exhaustive(scenarios.pyswitch_direct_path(), workers=2,
+                            adaptive_batching=False)
         # Deep scenario: most restorations must hit a cached ancestor.
         assert result.cache_hits > result.cache_misses
         assert result.replayed_transitions > 0
@@ -155,7 +141,7 @@ class TestReplayCache:
         """worker_cache_size=1 forces near-constant eviction; the search
         must still be exact, just slower (more full replays)."""
         result = exhaustive(scenarios.pyswitch_direct_path(), workers=2,
-                            worker_cache_size=1)
+                            worker_cache_size=1, adaptive_batching=False)
         assert counters(result) == counters(serial_direct_path)
         assert violated_properties(result) == \
             violated_properties(serial_direct_path)
@@ -175,9 +161,10 @@ class TestReplayCache:
     def test_affinity_reduces_replay_vs_round_robin(self, serial_direct_path):
         """Routing child groups to the worker whose LRU holds the parent
         trace must measurably cut restoration replay on a deep scenario."""
-        affine = exhaustive(scenarios.pyswitch_direct_path(), workers=2)
+        affine = exhaustive(scenarios.pyswitch_direct_path(), workers=2,
+                            adaptive_batching=False)
         round_robin = exhaustive(scenarios.pyswitch_direct_path(), workers=2,
-                                 affinity=False)
+                                 affinity=False, adaptive_batching=False)
         assert counters(affine) == counters(round_robin)
         assert affine.affinity_hits > affine.affinity_misses
         assert round_robin.affinity_hits == 0
@@ -185,6 +172,56 @@ class TestReplayCache:
         # jitter cannot flake the test.
         assert affine.replayed_transitions * 2 \
             < round_robin.replayed_transitions
+
+    def test_adaptive_batching_matches_static_results(
+            self, serial_direct_path):
+        """Adaptive batch sizing repacks tasks, never changes what is
+        explored: results equal the static baseline (and serial)."""
+        adaptive = exhaustive(scenarios.pyswitch_direct_path(), workers=2)
+        assert counters(adaptive) == counters(serial_direct_path)
+        assert violated_properties(adaptive) == \
+            violated_properties(serial_direct_path)
+
+
+# ----------------------------------------------------------------------
+# Churn stats: fault-tolerance counters sum correctly across workers
+# ----------------------------------------------------------------------
+
+class TestChurnStats:
+    """The retry/reassignment/elastic-join counters of ISSUE 4.  The
+    chaos suite (tests/test_fault_tolerance.py) drives them to nonzero
+    values; here the plumbing contract is pinned for ordinary runs:
+    zeros, a complete per-worker task ledger, and a summary line."""
+
+    @pytest.fixture(scope="class")
+    def parallel_run(self):
+        return exhaustive(scenarios.pyswitch_direct_path(), workers=2)
+
+    def test_no_churn_counts_zero(self, parallel_run):
+        assert parallel_run.worker_failures == 0
+        assert parallel_run.tasks_retried == 0
+        assert parallel_run.groups_reassigned == 0
+        assert parallel_run.elastic_joins == 0
+
+    def test_worker_tasks_ledger_is_complete(self, parallel_run):
+        """Every configured worker has a ledger entry and every merged
+        task is attributed to exactly one worker, so the per-worker
+        shares sum to the whole run."""
+        assert set(parallel_run.worker_tasks) == {0, 1}
+        total = sum(parallel_run.worker_tasks.values())
+        assert total > 0
+        # Two workers on a nontrivial scenario: both must have worked.
+        assert all(n > 0 for n in parallel_run.worker_tasks.values())
+
+    def test_summary_renders_fault_tolerance_line(self, parallel_run):
+        summary = parallel_run.summary()
+        assert "fault tolerance" in summary
+        assert "0 worker failure(s)" in summary
+        assert "0 elastic join(s)" in summary
+
+    def test_serial_runs_have_no_churn_stats(self, serial_direct_path):
+        assert serial_direct_path.worker_tasks == {}
+        assert "fault tolerance" not in serial_direct_path.summary()
 
 
 # ----------------------------------------------------------------------
