@@ -5,6 +5,9 @@ available by name), prints the search statistics, and dumps the violation
 traces; ``nice walk`` performs a random walk; ``nice replay`` re-executes a
 previously saved trace.
 
+``nice resume`` reconstructs a checkpointed search mid-flight and
+continues it (same explored state space as an uninterrupted run).
+
 Examples::
 
     nice run pyswitch-direct-path
@@ -12,6 +15,8 @@ Examples::
     nice run ping --pings 3 --no-canonical
     nice run ping --pings 3 --workers 4 --start-method spawn
     nice run loadbalancer --workers 2 --transport socket
+    nice run ping --pings 3 --checkpoint-dir ./ckpt --store sharded
+    nice resume ./ckpt --workers 4
     nice worker --connect 192.0.2.10:7000
     nice walk energy-te --steps 500 --seed 7
     nice list
@@ -28,12 +33,15 @@ from repro.config import (
     ALL_CHECKPOINT_MODES,
     ALL_HASH_MODES,
     ALL_START_METHODS,
+    ALL_STORES,
     ALL_STRATEGIES,
     ALL_TRANSPORTS,
     HASH_DIGEST,
+    STORE_MEMORY,
     NiceConfig,
 )
 from repro.mc.replay import format_trace
+from repro.mc.store import CheckpointError
 
 #: Scenario name -> builder: the registry the spawn/socket workers resolve
 #: specs against (repro/scenarios.py).
@@ -120,12 +128,65 @@ def build_parser() -> argparse.ArgumentParser:
                        default=NiceConfig.batch_nodes, metavar="N",
                        help="parallel scheduler: max total nodes per "
                             "worker task")
+    run_p.add_argument("--store", choices=ALL_STORES, default=STORE_MEMORY,
+                       help="explored-set storage: in-memory hash table, or "
+                            "digest-prefix shards spilling to disk under an "
+                            "LRU memory budget")
+    run_p.add_argument("--store-shards", type=int,
+                       default=NiceConfig.store_shards, metavar="N",
+                       help="sharded store: number of digest-prefix shards")
+    run_p.add_argument("--store-memory-budget", type=int,
+                       default=NiceConfig.store_memory_budget, metavar="N",
+                       help="sharded store: digests kept resident in memory "
+                            "(the rest spill to disk)")
+    run_p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="periodically snapshot the master state "
+                            "(explored set, frontier, stats, config) into "
+                            "DIR; continue later with `nice resume DIR`")
+    run_p.add_argument("--checkpoint-interval", type=int,
+                       default=NiceConfig.checkpoint_interval, metavar="N",
+                       help="states explored between checkpoints (SIGTERM "
+                            "also triggers one)")
     run_p.add_argument("--all-violations", action="store_true",
                        help="keep searching after the first violation")
     run_p.add_argument("--trace", action="store_true",
                        help="print the violation trace(s)")
     run_p.add_argument("--json", action="store_true",
                        help="machine-readable output")
+
+    resume_p = sub.add_parser(
+        "resume",
+        help="continue a checkpointed search (see `nice run "
+             "--checkpoint-dir`); the resumed run explores the identical "
+             "state space an uninterrupted run would have")
+    resume_p.add_argument("checkpoint_dir", metavar="DIR",
+                          help="checkpoint directory written by a previous "
+                               "run; the newest valid snapshot is used "
+                               "(torn ones fall back to the previous)")
+    resume_p.add_argument("--workers", type=int, default=None,
+                          help="override the checkpointed worker count")
+    resume_p.add_argument("--transport", choices=ALL_TRANSPORTS,
+                          default=None,
+                          help="override the checkpointed transport — a "
+                               "search may resume on a different one")
+    resume_p.add_argument("--start-method", choices=ALL_START_METHODS,
+                          default=None,
+                          help="override the local-transport start method")
+    resume_p.add_argument("--store", choices=ALL_STORES, default=None,
+                          help="override the explored-set store")
+    resume_p.add_argument("--checkpoint-dir", dest="new_checkpoint_dir",
+                          default=None, metavar="DIR",
+                          help="keep checkpointing, into DIR (default: the "
+                               "directory being resumed from)")
+    resume_p.add_argument("--checkpoint-interval", type=int, default=None,
+                          metavar="N",
+                          help="override the checkpoint interval")
+    resume_p.add_argument("--no-checkpoints", action="store_true",
+                          help="do not write further checkpoints")
+    resume_p.add_argument("--trace", action="store_true",
+                          help="print the violation trace(s)")
+    resume_p.add_argument("--json", action="store_true",
+                          help="machine-readable output")
 
     walk_p = sub.add_parser("walk", help="random walk on system states")
     walk_p.add_argument("scenario", choices=sorted(SCENARIOS))
@@ -168,6 +229,11 @@ def make_config(args) -> NiceConfig:
         cow_clone=not args.no_cow_clone,
         batch_groups=args.batch_groups,
         batch_nodes=args.batch_nodes,
+        store=args.store,
+        store_shards=args.store_shards,
+        store_memory_budget=args.store_memory_budget,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
     )
 
 
@@ -200,10 +266,15 @@ def cmd_run(args) -> int:
                   file=sys.stderr)
     scenario = build_scenario(args.scenario, args, config)
     result = nice.run(scenario)
+    return _report(result, args, scenario.name, config.strategy)
+
+
+def _report(result, args, scenario_name: str, strategy: str) -> int:
+    """Shared `nice run` / `nice resume` result rendering."""
     if args.json:
         payload = {
-            "scenario": scenario.name,
-            "strategy": config.strategy,
+            "scenario": scenario_name,
+            "strategy": strategy,
             "engine": result.engine,
             "workers": result.workers,
             "transitions": result.transitions_executed,
@@ -217,8 +288,16 @@ def cmd_run(args) -> int:
             "tasks_retried": result.tasks_retried,
             "groups_reassigned": result.groups_reassigned,
             "elastic_joins": result.elastic_joins,
+            "workers_respawned": result.workers_respawned,
             "worker_tasks": {str(w): n
                              for w, n in sorted(result.worker_tasks.items())},
+            "store": result.store,
+            "store_hits": result.store_hits,
+            "store_spill_reads": result.store_spill_reads,
+            "store_evictions": result.store_evictions,
+            "checkpoints_written": result.checkpoints_written,
+            "checkpoint_seconds": result.checkpoint_seconds,
+            "resumed_from": result.resumed_from,
             "violations": [
                 {"property": v.property_name, "message": v.message,
                  "trace_length": len(v.trace)}
@@ -227,8 +306,8 @@ def cmd_run(args) -> int:
         }
         print(json.dumps(payload, indent=2))
     else:
-        print(f"scenario : {scenario.name}")
-        print(f"strategy : {config.strategy}")
+        print(f"scenario : {scenario_name}")
+        print(f"strategy : {strategy}")
         print(result.summary())
         if args.trace:
             for index, violation in enumerate(result.violations):
@@ -236,6 +315,30 @@ def cmd_run(args) -> int:
                       f"({violation.property_name}) ---")
                 print(format_trace(violation.trace))
     return 1 if result.found_violation else 0
+
+
+def cmd_resume(args) -> int:
+    overrides = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.transport is not None:
+        overrides["transport"] = args.transport
+    if args.start_method is not None:
+        overrides["start_method"] = args.start_method
+    if args.store is not None:
+        overrides["store"] = args.store
+    if args.checkpoint_interval is not None:
+        overrides["checkpoint_interval"] = args.checkpoint_interval
+    if args.no_checkpoints:
+        overrides["checkpoint_dir"] = None
+    elif args.new_checkpoint_dir is not None:
+        overrides["checkpoint_dir"] = args.new_checkpoint_dir
+    try:
+        scenario, result = nice.resume(args.checkpoint_dir, **overrides)
+    except CheckpointError as exc:
+        print(f"nice resume: {exc}", file=sys.stderr)
+        return 2
+    return _report(result, args, scenario.name, scenario.config.strategy)
 
 
 def cmd_walk(args) -> int:
@@ -261,6 +364,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "resume":
+        return cmd_resume(args)
     if args.command == "walk":
         return cmd_walk(args)
     if args.command == "worker":

@@ -65,6 +65,16 @@ START_METHOD_SPAWN = "spawn"
 
 ALL_START_METHODS = (START_METHOD_FORK, START_METHOD_SPAWN)
 
+#: Explored-set state stores (DESIGN.md, "State store and
+#: restartability").  ``memory`` is the plain in-process hash table the
+#: engines always used; ``sharded`` shards digests by prefix into
+#: append-only record files with an LRU-bounded resident set, so the
+#: explored set can spill to disk and outgrow RAM.
+STORE_MEMORY = "memory"
+STORE_SHARDED = "sharded"
+
+ALL_STORES = (STORE_MEMORY, STORE_SHARDED)
+
 
 @dataclass
 class NiceConfig:
@@ -158,6 +168,26 @@ class NiceConfig:
       (amortizing per-task overhead — the sweet spot for high-RTT socket
       workers), slow ones shrink it back toward fine-grained load
       balancing.  ``batch_groups``/``batch_nodes`` seed the initial size.
+    * ``store`` — explored-set storage: :data:`STORE_MEMORY` (the
+      default in-process hash table — zero regression) or
+      :data:`STORE_SHARDED` (``store_shards`` digest-prefix shards, each
+      an append-only file of fixed-width hash records with an in-memory
+      index; at most ``store_memory_budget`` digests stay resident, the
+      rest spill to disk — the explored set can outgrow RAM).
+    * ``checkpoint_interval`` / ``checkpoint_dir`` — master
+      checkpointing: with ``checkpoint_dir`` set, the search atomically
+      snapshots the explored-set store, the frontier, the statistics and
+      this config every ``checkpoint_interval`` newly explored states
+      (executed transitions, when ``state_matching`` is off)
+      (and on SIGTERM); ``nice resume <dir>`` continues the search
+      mid-flight on any transport, bit-identical to an uninterrupted
+      run.  ``checkpoint_dir=None`` (the default) disables
+      checkpointing.
+    * ``respawn_workers`` — autoscaler hook: when a worker dies, ask the
+      transport to spawn a replacement (a fresh local-pool process, or
+      an elastic socket joiner) before applying the failure policy, so
+      the pool holds its size under churn.  Deaths still count toward
+      ``max_worker_failures``.
     * ``min_workers`` — fault-tolerance floor: a clean error is raised if
       worker deaths shrink the live pool below this many workers (the
       default ``1`` keeps searching on the last surviving worker).
@@ -205,6 +235,12 @@ class NiceConfig:
     adaptive_batching: bool = True
     min_workers: int = 1
     max_worker_failures: int | None = None
+    store: str = STORE_MEMORY
+    store_shards: int = 16
+    store_memory_budget: int = 1_000_000
+    checkpoint_interval: int = 1000
+    checkpoint_dir: str | None = None
+    respawn_workers: bool = False
     seed: int = 0
     extra: dict = field(default_factory=dict)
 
@@ -255,3 +291,14 @@ class NiceConfig:
         if self.max_worker_failures is not None \
                 and self.max_worker_failures < 0:
             raise ValueError("max_worker_failures must be >= 0 or None")
+        if self.store not in ALL_STORES:
+            raise ValueError(
+                f"unknown store {self.store!r};"
+                f" expected one of {ALL_STORES}"
+            )
+        if self.store_shards < 1:
+            raise ValueError("store_shards must be >= 1")
+        if self.store_memory_budget < 1:
+            raise ValueError("store_memory_budget must be >= 1")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")

@@ -47,6 +47,15 @@ fine-grained load balancing (which also caps how much work a dying worker
 can strand).  Batch sizing never affects *what* is explored, only how it
 is packed.
 
+**Checkpointing** (PR 5): with ``checkpoint_dir`` set the scheduler
+periodically snapshots the explored-set store, the queued sibling
+groups, the stats and the config (DESIGN.md, "State store and
+restartability").  A snapshot is only written at a **consistent cut**:
+dispatching pauses and every in-flight task is drained (merged) first,
+so no unit of work can be half-counted; ``nice resume`` then continues
+the search — on any transport — with a final explored state space
+bit-identical to an uninterrupted run.
+
 Exactness contract (unchanged from PR 1): every (state, transition) pair
 is executed and property-checked exactly once, so for an exhaustive
 search ``unique_states``, ``transitions_executed``, ``revisited_states``
@@ -69,6 +78,7 @@ import time
 from collections import deque
 
 from repro.config import ORDER_BFS, ORDER_DFS
+from repro.mc import store as store_mod
 from repro.mc.search import Searcher, SearchStats, Violation, _StopSearch
 from repro.mc.transport import TransportError, WorkerLost, create_transport
 from repro.mc.wire import (
@@ -92,8 +102,8 @@ class ParallelSearcher(Searcher):
     def __init__(self, system_factory, properties, config, strategy=None,
                  discoverer=None, scenario_spec=None):
         super().__init__(system_factory, properties, config,
-                         strategy=strategy, discoverer=discoverer)
-        self.scenario_spec = scenario_spec
+                         strategy=strategy, discoverer=discoverer,
+                         scenario_spec=scenario_spec)
 
     def run(self) -> SearchStats:
         if self.config.workers <= 1:
@@ -135,7 +145,7 @@ class _Scheduler:
         #: the head and defers oversized groups back to it, both O(1).
         self._queues: dict[int | None, deque] = {None: deque()}
         self._pending_groups = 0
-        self._explored: set = set()
+        self._explored = store_mod.create_store(self.config)
         self._in_flight: dict[int, tuple[int, list]] = {}  # task_id -> (wid, groups)
         #: Live pool membership; filled from ``transport.worker_ids()``
         #: once the transport is up — deaths remove ids, elastic joins add
@@ -169,18 +179,37 @@ class _Scheduler:
         searcher, stats = self.searcher, self.stats
         stats.engine = self.transport.name
         stats.workers = self.transport.workers
+        resume = searcher._resume
         start = time.perf_counter()
         initial = searcher.system_factory()
         for prop in searcher.properties:
             prop.reset(initial)
-        try:
-            searcher._check_properties(initial, None, stats, ())
-        except _StopSearch:
-            stats.wall_time = time.perf_counter() - start
-            return stats
-
-        self._explored.add(initial.state_hash())
-        self._push(None, ((), None))
+        if resume is None:
+            try:
+                searcher._check_properties(initial, None, stats, ())
+            except _StopSearch:
+                # The search ends before the transport comes up, but the
+                # store from __init__ is live: close it (a sharded store
+                # holds open shard files and a temp spill directory).
+                stats.store = self._explored.kind
+                stats.unique_states = len(self._explored)
+                self._explored.close()
+                stats.wall_time = time.perf_counter() - start
+                return stats
+            self._explored.add(initial.state_hash())
+            self._push(None, ((), None))
+        else:
+            resume.restore_stats(stats)
+            self._explored.preload(resume.iter_digests())
+            if resume.rng_state is not None:
+                searcher._rng.setstate(resume.rng_state)
+            # The old owners' replay caches died with the previous run:
+            # every checkpointed group restarts unowned.
+            for group in resume.frontier:
+                self._push(None, group)
+        checkpointer = store_mod.Checkpointer(
+            self.config, searcher.scenario_spec, self._explored, stats)
+        checkpointer.install()
         # start() is inside the try: a transport that fails to come up
         # (accept deadline, dead spawn) must still have stop() run so no
         # listener or half-started worker outlives the search.
@@ -192,18 +221,46 @@ class _Scheduler:
             for worker_id in self.transport.worker_ids():
                 self._enroll(worker_id)
             while self._pending_groups or self._in_flight:
+                if checkpointer.due():
+                    # Drain first: a snapshot must capture a consistent
+                    # cut (every dispatched task merged, nothing in
+                    # flight), or resumed counters would double-count.
+                    self._drain()
+                    checkpointer.write(self._frontier_groups(),
+                                       searcher._rng.getstate())
+                    if checkpointer.sigterm:
+                        stats.terminated = "sigterm"
+                        raise _StopSearch()
+                    continue  # the drain may have emptied the frontier
                 self._dispatch()
                 self._handle(self.transport.recv())
         except _StopSearch:
             pass
         finally:
             self.transport.stop()
-        stats.unique_states = len(self._explored)
+            checkpointer.restore()
+            checkpointer.sync()
+            stats.unique_states = len(self._explored)
+            self._explored.close()
         stats.wall_time = time.perf_counter() - start
         # Worker deltas were merged per task; add the master's own hashing
         # (the initial state) on top.
         stats.add_hash_stats(initial._hash_stats.snapshot())
         return stats
+
+    def _drain(self) -> None:
+        """Absorb every in-flight result (worker churn included) so the
+        master state is a consistent cut of the search."""
+        while self._in_flight:
+            self._handle(self.transport.recv())
+
+    def _frontier_groups(self) -> list:
+        """Every queued sibling group, global queue first then per-owner
+        queues in worker-id order — the checkpoint's frontier."""
+        groups = list(self._queues.get(None, ()))
+        for owner in sorted(w for w in self._queues if w is not None):
+            groups.extend(self._queues[owner])
+        return groups
 
     def _handle(self, message) -> None:
         if isinstance(message, TaskResult):
@@ -269,6 +326,12 @@ class _Scheduler:
         if orphaned:
             stats.groups_reassigned += len(orphaned)
             self._queues[None].extend(orphaned)
+        if self.config.respawn_workers:
+            # Autoscaler: replace the dead worker *before* the policy
+            # check, so a synchronously respawned local worker keeps the
+            # pool at its ``min_workers`` floor.  Deaths still count
+            # toward ``max_worker_failures``.
+            self._respawn(worker_id)
         failures_allowed = self.config.max_worker_failures
         if failures_allowed is not None \
                 and stats.worker_failures > failures_allowed:
@@ -282,6 +345,29 @@ class _Scheduler:
                 f" below min_workers={self.config.min_workers}"
                 f" ({stats.worker_failures} failure(s) total);"
                 f" last failure: worker {worker_id}: {reason}")
+
+    def _respawn(self, dead_worker_id: int) -> None:
+        """Ask the transport for a replacement worker (``respawn_workers``).
+
+        Local pools return the fresh worker id synchronously and it is
+        enrolled immediately; the socket transport spawns a subprocess
+        that joins through the elastic accept path and surfaces later as
+        a :class:`~repro.mc.wire.WorkerJoined` event.  A transport that
+        cannot spawn (or a spawn that fails) logs and moves on — the
+        ordinary failure policy then decides whether the shrunken pool
+        survives."""
+        try:
+            new_id = self.transport.spawn_worker()
+        except Exception as exc:  # noqa: BLE001 - any failure, policy decides
+            print(f"could not respawn a replacement for dead worker"
+                  f" {dead_worker_id}: {exc}", file=sys.stderr, flush=True)
+            return
+        self.stats.workers_respawned += 1
+        if new_id is not None and new_id not in self._live:
+            self._enroll(new_id)
+            self.stats.workers += 1
+            print(f"respawned worker {new_id} to replace dead worker"
+                  f" {dead_worker_id}", file=sys.stderr, flush=True)
 
     def _enroll(self, worker_id: int) -> None:
         """Enter a worker into the routing tables."""
@@ -512,10 +598,9 @@ class _Scheduler:
             fresh = []
             for transition, digest in kids:
                 if self.config.state_matching:
-                    if digest in self._explored:
+                    if not self._explored.add(digest):
                         stats.revisited_states += 1
                         continue
-                    self._explored.add(digest)
                 fresh.append(transition)
             if fresh:
                 # The worker that expanded this node holds its trace in

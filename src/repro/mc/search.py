@@ -25,6 +25,13 @@ representation cheap enough to ship between the worker processes of
 :class:`~repro.mc.parallel.ParallelSearcher`.  State hashing is memoized per
 component (see ``NiceConfig.hash_memoization``), so expanding a state only
 re-canonicalizes the switches/hosts the transition actually touched.
+
+The explored set lives behind a :class:`~repro.mc.store.StateStore`
+(``NiceConfig.store`` — in-memory by default, or sharded with disk
+spill), and with ``checkpoint_dir`` set the loop snapshots store +
+frontier + stats between expansions (and on SIGTERM) so a killed search
+resumes mid-flight via ``nice resume``, bit-identical to an
+uninterrupted run — DESIGN.md, "State store and restartability".
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.config import (
     ORDER_RANDOM,
 )
 from repro.errors import PropertyViolation, SearchError
+from repro.mc import store as store_mod
 from repro.mc import transitions as tk
 from repro.mc.replay import replay_from
 from repro.mc.strategies import Strategy, make_strategy
@@ -133,6 +141,22 @@ class SearchStats:
         self.hash_misses = 0
         self.bytes_hashed = 0
         self.cow_copied = 0
+        #: Explored-set state store (DESIGN.md, "State store and
+        #: restartability"): which store served the run, lookups answered
+        #: from memory, lookups that read a spilled shard file, and
+        #: digests evicted from the resident set.
+        self.store = "memory"
+        self.store_hits = 0
+        self.store_spill_reads = 0
+        self.store_evictions = 0
+        #: Master checkpointing: snapshots written (and the wall time they
+        #: took), and — on a resumed run — the checkpoint it started from.
+        self.checkpoints_written = 0
+        self.checkpoint_seconds = 0.0
+        self.resumed_from: str | None = None
+        #: Autoscaler (``respawn_workers``): replacements requested for
+        #: dead workers.
+        self.workers_respawned = 0
 
     def add_hash_stats(self, snapshot: tuple[int, int, int, int]) -> None:
         """Fold one ``HashStats.snapshot()`` (or a delta) into the totals."""
@@ -163,6 +187,20 @@ class SearchStats:
             f"terminated           : {self.terminated}",
             f"violations           : {len(self.violations)}",
         ]
+        if self.store != "memory":
+            lines.insert(-1, (
+                f"state store          : {self.store},"
+                f" {self.store_hits} memory hit(s),"
+                f" {self.store_spill_reads} spill read(s),"
+                f" {self.store_evictions} eviction(s)"
+            ))
+        if self.resumed_from:
+            lines.insert(-1, f"resumed from         : {self.resumed_from}")
+        if self.checkpoints_written:
+            lines.insert(-1, (
+                f"checkpoints          : {self.checkpoints_written}"
+                f" written ({self.checkpoint_seconds:.2f}s)"
+            ))
         if self.workers:
             lines.insert(-1, (
                 f"restoration          : {self.replayed_transitions} replayed"
@@ -175,7 +213,8 @@ class SearchStats:
                 f"fault tolerance      : {self.worker_failures} worker"
                 f" failure(s), {self.tasks_retried} task(s) retried,"
                 f" {self.groups_reassigned} group(s) reassigned,"
-                f" {self.elastic_joins} elastic join(s)"
+                f" {self.elastic_joins} elastic join(s),"
+                f" {self.workers_respawned} respawned"
             ))
         for violation in self.violations[:5]:
             lines.append(f"  - {violation.property_name}: {violation.message}")
@@ -195,14 +234,22 @@ class Searcher:
     """Figure 5's model-checking loop."""
 
     def __init__(self, system_factory, properties: list, config: NiceConfig,
-                 strategy: Strategy | None = None, discoverer=None):
+                 strategy: Strategy | None = None, discoverer=None,
+                 scenario_spec=None):
         """``system_factory`` builds and boots a fresh initial System;
         ``discoverer`` provides concolic discovery (None disables symbolic
-        execution regardless of config)."""
+        execution regardless of config); ``scenario_spec`` (a
+        :class:`~repro.mc.wire.ScenarioSpec` or None) is the scenario's
+        portable identity, stored into checkpoints so ``nice resume`` can
+        rebuild the System by registry name."""
         self.system_factory = system_factory
         self.properties = list(properties)
         self.config = config
         self.discoverer = discoverer
+        self.scenario_spec = scenario_spec
+        #: A loaded :class:`~repro.mc.store.Checkpoint` to continue from
+        #: (set by ``nice.resume``), or None for a fresh search.
+        self._resume = None
         self._use_se = bool(config.use_symbolic_execution and discoverer)
         self._strategy = strategy
         #: client.packets map of Figure 5: (host, ctrl_hash) -> [Packet].
@@ -220,31 +267,58 @@ class Searcher:
 
     def run(self) -> SearchStats:
         result = SearchStats()
+        resume = self._resume
         start = time.perf_counter()
         initial = self.system_factory()
         self._initial = initial
         strategy = self._strategy or make_strategy(self.config, initial.app)
         for prop in self.properties:
             prop.reset(initial)
-        try:
-            self._check_properties(initial, None, result, ())
-        except _StopSearch:
-            result.wall_time = time.perf_counter() - start
-            result.add_hash_stats(initial._hash_stats.snapshot())
-            return result
+        if resume is None:
+            try:
+                self._check_properties(initial, None, result, ())
+            except _StopSearch:
+                result.wall_time = time.perf_counter() - start
+                result.add_hash_stats(initial._hash_stats.snapshot())
+                return result
 
-        explored: set[str] = {initial.state_hash()}
+        explored = store_mod.create_store(self.config)
         # Frontier entries are (system | None, trace): in trace-checkpoint
         # mode the system slot is None and the node is restored by replay.
         # DFS pops the tail and BFS the head, both O(1) on a deque; the
         # random order needs positional pops, so it keeps a plain list.
         frontier_type = (list if self.config.search_order == ORDER_RANDOM
                          else deque)
-        frontier = frontier_type(
-            [(None if self._trace_checkpoints else initial, ())]
-        )
+        if resume is not None:
+            resume.restore_stats(result)
+            explored.preload(resume.iter_digests())
+            if resume.rng_state is not None:
+                self._rng.setstate(resume.rng_state)
+            # Restored nodes carry no live system — they are rebuilt by
+            # trace replay on pop, whatever the checkpoint_mode (the same
+            # restoration path ``trace`` mode always uses).
+            frontier = frontier_type(self._resume_nodes(resume.frontier))
+        else:
+            explored.add(initial.state_hash())
+            frontier = frontier_type(
+                [(None if self._trace_checkpoints else initial, ())]
+            )
+        checkpointer = store_mod.Checkpointer(
+            self.config, self.scenario_spec, explored, result)
+        checkpointer.install()
         try:
             while frontier:
+                if checkpointer.due():
+                    # Between node expansions every structure is
+                    # consistent: snapshot the frontier as single-node
+                    # sibling groups (the scheduler's wire form, so a
+                    # serial checkpoint resumes on any transport).
+                    checkpointer.write(
+                        [(trace, None) for _, trace in frontier],
+                        self._rng.getstate())
+                    if checkpointer.sigterm:
+                        result.terminated = "sigterm"
+                        raise _StopSearch()
                 system, trace = self._pop(frontier)
                 if system is None:
                     system = self._restore(trace, strategy)
@@ -269,23 +343,39 @@ class Searcher:
                         result.terminated = "max_transitions"
                         raise _StopSearch()
                     if self.config.state_matching:
-                        digest = child.state_hash()
-                        if digest in explored:
+                        if not explored.add(child.state_hash()):
                             result.revisited_states += 1
                             continue
-                        explored.add(digest)
                     frontier.append(
                         (None if self._trace_checkpoints else child,
                          child_trace)
                     )
         except _StopSearch:
             pass
-        result.unique_states = len(explored)
+        finally:
+            checkpointer.restore()
+            checkpointer.sync()
+            result.unique_states = len(explored)
+            explored.close()
         result.wall_time = time.perf_counter() - start
         # Every system in a serial run descends from `initial` by clone, so
         # the shared HashStats object holds the whole run's counters.
         result.add_hash_stats(initial._hash_stats.snapshot())
         return result
+
+    @staticmethod
+    def _resume_nodes(groups):
+        """Checkpointed sibling groups -> serial frontier nodes, in
+        checkpoint order.  ``(trace, None)`` is the single node *at*
+        ``trace``; ``(trace, steps)`` fans out one node per sibling —
+        the same expansion :meth:`WorkerRuntime.expand` applies, so a
+        checkpoint written by the parallel scheduler resumes serially."""
+        for trace, steps in groups:
+            if steps is None:
+                yield (None, trace)
+            else:
+                for step in steps:
+                    yield (None, trace + (step,))
 
     def _restore(self, trace, strategy: Strategy) -> System:
         """Trace-replay checkpoint restoration (Section 6): clone the initial

@@ -1,0 +1,654 @@
+"""Explored-set state store + master checkpointing (DESIGN.md, "State
+store and restartability").
+
+Two concerns the search engines delegate here:
+
+* **Membership storage** for the explored state set.  :class:`MemoryStore`
+  is the plain in-memory set the engines always had (default — zero
+  regression).  :class:`ShardedStore` shards digests by prefix into
+  append-only files of fixed-width hash records, keeps a compact
+  in-memory index (one small int per digest, ever) plus an LRU-bounded
+  *resident* set, and spills cold digests to disk — the explored set of a
+  NICE-style exhaustive search then scales past one process's RAM while
+  the hot working set stays dictionary-fast.  Both expose one API:
+  ``add(digest) -> bool`` (False = already present), ``in``, ``len``.
+
+* **Checkpointing** the master's irreplaceable state.  A checkpoint is a
+  directory ``ckpt-NNNNNNNN/`` holding the store's record files, a pickled
+  ``meta`` blob (scenario spec, config, stats counters, frontier sibling
+  groups, RNG state) and a ``MANIFEST.json`` with the byte size and
+  blake2b checksum of every file.  Snapshots are **atomic**: everything is
+  written and fsynced into a temp directory first, which is then renamed
+  into place — a crash mid-write leaves only a temp directory that resume
+  ignores.  :func:`load_latest_checkpoint` walks checkpoints newest-first
+  and returns the first one that *validates* (manifest present, sizes and
+  checksums match), so a torn or truncated snapshot silently falls back to
+  the previous good one.  The frontier is stored as transport-agnostic
+  ``(parent trace, [transition, ...] | None)`` sibling groups — the wire
+  format of :class:`~repro.mc.wire.ExpandTask` — which is why a search
+  checkpointed serially can resume on any transport and vice versa.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import shutil
+import signal
+import tempfile
+import threading
+import time
+import warnings
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.config import STORE_MEMORY, STORE_SHARDED
+
+#: Bump when the checkpoint layout changes; resume refuses a mismatch.
+CHECKPOINT_FORMAT = 1
+
+#: Complete checkpoints kept per directory.  Two, not one: torn-write
+#: recovery needs the previous snapshot to still exist when the newest
+#: turns out to be corrupt.
+CHECKPOINT_KEEP = 2
+
+_CKPT_PREFIX = "ckpt-"
+_TMP_PREFIX = "tmp-ckpt-"
+_MANIFEST = "MANIFEST.json"
+_META = "meta.pkl"
+
+
+class CheckpointError(RuntimeError):
+    """No usable checkpoint could be written or loaded."""
+
+
+# ----------------------------------------------------------------------
+# State stores
+# ----------------------------------------------------------------------
+
+class StateStore:
+    """Explored-set membership storage; see module docstring."""
+
+    #: Engine-facing name ("memory" / "sharded"), surfaced in SearchStats.
+    kind = "store"
+
+    def add(self, digest: str) -> bool:
+        """Record ``digest``; False means it was already present."""
+        raise NotImplementedError
+
+    def __contains__(self, digest: str) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def digests(self):
+        """Iterate every stored digest (insertion order per shard)."""
+        raise NotImplementedError
+
+    def counters(self) -> dict:
+        """Spill/hit counters: ``hits`` (lookups answered from memory),
+        ``spill_reads`` (lookups that had to read a shard file), and
+        ``evictions`` (digests spilled out of the resident set)."""
+        return {"hits": 0, "spill_reads": 0, "evictions": 0}
+
+    def preload(self, digests) -> None:
+        """Bulk-load digests (checkpoint resume) without counter noise."""
+        for digest in digests:
+            self.add(digest)
+        self.reset_counters()
+
+    def reset_counters(self) -> None:
+        pass
+
+    def snapshot_into(self, directory: Path) -> list[str]:
+        """Write the store's contents as fixed-width record files into
+        ``directory``; returns the file names written."""
+        raise NotImplementedError
+
+    def record_width(self) -> int:
+        """Bytes per record (0 while empty)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class MemoryStore(StateStore):
+    """The engines' original explored set: one in-memory hash table."""
+
+    kind = STORE_MEMORY
+
+    def __init__(self):
+        # A dict, not a set: insertion order survives snapshot/reload, so
+        # a resumed serial DFS walks the identical frontier order.
+        self._digests: dict[str, None] = {}
+        self._hits = 0
+
+    def add(self, digest: str) -> bool:
+        if digest in self._digests:
+            self._hits += 1
+            return False
+        self._digests[digest] = None
+        return True
+
+    def __contains__(self, digest: str) -> bool:
+        if digest in self._digests:
+            self._hits += 1
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._digests)
+
+    def digests(self):
+        return iter(self._digests)
+
+    def counters(self) -> dict:
+        return {"hits": self._hits, "spill_reads": 0, "evictions": 0}
+
+    def reset_counters(self) -> None:
+        self._hits = 0
+
+    def record_width(self) -> int:
+        for digest in self._digests:
+            return len(digest.encode("ascii"))
+        return 0
+
+    def snapshot_into(self, directory: Path) -> list[str]:
+        name = "states-0000.bin"
+        with open(directory / name, "wb") as handle:
+            for digest in self._digests:
+                handle.write(digest.encode("ascii"))
+        return [name]
+
+
+class ShardedStore(StateStore):
+    """Digest-prefix shards, append-only record files, LRU resident set.
+
+    Layout per shard ``i``: an append-only file of fixed-width ASCII
+    digest records (record ``n`` lives at byte ``n * width``) plus an
+    in-memory index mapping a 48-bit digest prefix to the slot(s) holding
+    it.  Membership: the LRU *resident* dict answers hot lookups from
+    memory; a prefix absent from the index is a definitive (memory-only)
+    miss; a prefix hit outside the resident set seeks the shard file and
+    compares full records — the spill path.  Inserts append one record
+    and one index entry; when the resident set exceeds ``memory_budget``
+    digests the oldest entries spill (the index entry — one small int —
+    is all that remains in memory).
+    """
+
+    kind = STORE_SHARDED
+
+    def __init__(self, shards: int = 16, memory_budget: int = 1_000_000,
+                 directory: str | None = None):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if memory_budget < 1:
+            raise ValueError("memory_budget must be >= 1")
+        self.shards = shards
+        self.memory_budget = memory_budget
+        self._owns_dir = directory is None
+        self.directory = Path(directory or tempfile.mkdtemp(
+            prefix="nice-store-"))
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._files = [
+            open(self.directory / self._shard_name(i), "w+b")
+            for i in range(shards)
+        ]
+        #: Per shard: 48-bit digest prefix -> slot int (or tuple of slots
+        #: on the rare prefix collision).
+        self._index: list[dict[int, int | tuple]] = [{} for _ in range(shards)]
+        self._slots = [0] * shards
+        #: Records appended since the shard file was last flushed.
+        self._unflushed = [0] * shards
+        self._resident: OrderedDict[str, None] = OrderedDict()
+        self._count = 0
+        self._width = 0
+        self._hits = 0
+        self._spill_reads = 0
+        self._evictions = 0
+
+    @staticmethod
+    def _shard_name(index: int) -> str:
+        return f"states-{index:04d}.bin"
+
+    @staticmethod
+    def _prefix(digest: str) -> int:
+        try:
+            return int(digest[:12], 16)
+        except ValueError:
+            # Non-hex digests: any stable 32-bit hash keeps the index
+            # compact and the shard choice deterministic.
+            return zlib.crc32(digest.encode("utf-8", "surrogateescape"))
+
+    def _shard_of(self, prefix: int) -> int:
+        return prefix % self.shards
+
+    def _probe_disk(self, shard: int, slots, record: bytes) -> bool:
+        """Compare ``record`` against the candidate slots on disk."""
+        handle = self._files[shard]
+        if self._unflushed[shard]:
+            handle.flush()
+            self._unflushed[shard] = 0
+        for slot in slots if isinstance(slots, tuple) else (slots,):
+            self._spill_reads += 1
+            handle.seek(slot * self._width)
+            if handle.read(self._width) == record:
+                return True
+        return False
+
+    def _touch(self, digest: str) -> None:
+        """Enter ``digest`` into the resident LRU, spilling the coldest."""
+        self._resident[digest] = None
+        self._resident.move_to_end(digest)
+        while len(self._resident) > self.memory_budget:
+            self._resident.popitem(last=False)
+            self._evictions += 1
+
+    def __contains__(self, digest: str) -> bool:
+        if digest in self._resident:
+            self._hits += 1
+            self._resident.move_to_end(digest)
+            return True
+        if not self._count:
+            return False
+        prefix = self._prefix(digest)
+        slots = self._index[self._shard_of(prefix)].get(prefix)
+        if slots is None:
+            return False
+        record = digest.encode("ascii")
+        if len(record) != self._width:
+            return False
+        if self._probe_disk(self._shard_of(prefix), slots, record):
+            self._touch(digest)
+            return True
+        return False
+
+    def add(self, digest: str) -> bool:
+        if digest in self:
+            return False
+        record = digest.encode("ascii")
+        if self._width == 0:
+            self._width = len(record)
+        elif len(record) != self._width:
+            raise ValueError(
+                f"digest width changed mid-run: {len(record)} != "
+                f"{self._width} bytes (mixed hash modes in one store?)")
+        prefix = self._prefix(digest)
+        shard = self._shard_of(prefix)
+        handle = self._files[shard]
+        handle.seek(0, io.SEEK_END)
+        handle.write(record)
+        self._unflushed[shard] += 1
+        slot = self._slots[shard]
+        self._slots[shard] = slot + 1
+        index = self._index[shard]
+        held = index.get(prefix)
+        if held is None:
+            index[prefix] = slot
+        elif isinstance(held, tuple):
+            index[prefix] = held + (slot,)
+        else:
+            index[prefix] = (held, slot)
+        self._count += 1
+        self._touch(digest)
+        return True
+
+    def __len__(self) -> int:
+        return self._count
+
+    def flush(self) -> None:
+        for shard, handle in enumerate(self._files):
+            if self._unflushed[shard]:
+                handle.flush()
+                self._unflushed[shard] = 0
+
+    def digests(self):
+        self.flush()
+        for shard, handle in enumerate(self._files):
+            if not self._slots[shard]:
+                continue
+            handle.seek(0)
+            data = handle.read(self._slots[shard] * self._width)
+            for offset in range(0, len(data), self._width):
+                yield data[offset:offset + self._width].decode("ascii")
+
+    def counters(self) -> dict:
+        return {"hits": self._hits, "spill_reads": self._spill_reads,
+                "evictions": self._evictions}
+
+    def reset_counters(self) -> None:
+        self._hits = self._spill_reads = self._evictions = 0
+
+    def record_width(self) -> int:
+        return self._width
+
+    def snapshot_into(self, directory: Path) -> list[str]:
+        self.flush()
+        names = []
+        for shard in range(self.shards):
+            if not self._slots[shard]:
+                continue
+            name = self._shard_name(shard)
+            shutil.copyfile(self.directory / name, directory / name)
+            names.append(name)
+        return names
+
+    def close(self) -> None:
+        for handle in self._files:
+            try:
+                handle.close()
+            except OSError:
+                pass
+        if self._owns_dir:
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+
+def create_store(config) -> StateStore:
+    """The explored-set store ``config`` asks for.
+
+    The crash-recovery harness monkeypatches this hook to plant seeded
+    interruption points, so the engines must resolve it through the
+    module (``store_mod.create_store``) at run time, not import time.
+    """
+    if config.store == STORE_SHARDED:
+        return ShardedStore(config.store_shards, config.store_memory_budget)
+    return MemoryStore()
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+
+#: SearchStats fields that describe *this* run, not accumulated results —
+#: never restored from a checkpoint.
+_NON_RESUMABLE = ("wall_time", "engine", "workers", "terminated",
+                  "resumed_from")
+
+
+@dataclass
+class Checkpoint:
+    """One loaded (validated) checkpoint."""
+
+    path: Path
+    spec: object            # ScenarioSpec | None (hand-built scenarios)
+    config: object          # the NiceConfig the run was using
+    stats: dict             # SearchStats.__dict__ snapshot
+    frontier: list          # [(parent trace, [transition, ...] | None)]
+    rng_state: object       # random.Random state of the frontier RNG
+    states: int             # digest count across the record files
+    record_width: int
+    record_files: list[Path]
+
+    def iter_digests(self):
+        width = self.record_width
+        if not width:
+            return  # a checkpoint of an empty store holds no records
+        # Chunked, record-aligned reads: resume must not buffer a whole
+        # record file — for the explored sets the sharded store exists
+        # for, that file can approach the RAM the store is avoiding.
+        chunk_size = max(1, (1 << 20) // width) * width
+        for path in self.record_files:
+            with open(path, "rb") as handle:
+                while True:
+                    data = handle.read(chunk_size)
+                    if not data:
+                        break
+                    for offset in range(0, len(data), width):
+                        yield data[offset:offset + width].decode("ascii")
+
+    def restore_stats(self, stats) -> None:
+        """Seed a fresh SearchStats with the checkpointed counters."""
+        for key, value in self.stats.items():
+            if key in _NON_RESUMABLE or not hasattr(stats, key):
+                continue
+            setattr(stats, key, value)
+        stats.resumed_from = str(self.path)
+
+
+def _file_digest(path: Path) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fsync
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _next_sequence(directory: Path) -> int:
+    highest = 0
+    for entry in directory.glob(f"{_CKPT_PREFIX}*"):
+        try:
+            highest = max(highest, int(entry.name[len(_CKPT_PREFIX):]))
+        except ValueError:
+            continue
+    return highest + 1
+
+
+def write_checkpoint(directory: str | Path, *, spec, config, stats,
+                     frontier, rng_state, store: StateStore) -> Path:
+    """Atomically snapshot one consistent master state; returns the new
+    checkpoint's path.  See the module docstring for the protocol."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    sequence = _next_sequence(root)
+    name = f"{_CKPT_PREFIX}{sequence:08d}"
+    staging = root / f"{_TMP_PREFIX}{sequence:08d}"
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
+    try:
+        record_files = store.snapshot_into(staging)
+        meta = {
+            "spec": spec,
+            "config": config,
+            "stats": dict(stats.__dict__),
+            "frontier": list(frontier),
+            "rng_state": rng_state,
+        }
+        with open(staging / _META, "wb") as handle:
+            pickle.dump(meta, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        files = {}
+        for file_name in [*record_files, _META]:
+            path = staging / file_name
+            files[file_name] = {"bytes": path.stat().st_size,
+                                "blake2b": _file_digest(path)}
+        manifest = {
+            "format": CHECKPOINT_FORMAT,
+            "states": len(store),
+            "record_width": store.record_width(),
+            "record_files": record_files,
+            "store": store.kind,
+            "files": files,
+        }
+        # The manifest is written (and fsynced) last: a crash before this
+        # point leaves a manifest-less temp directory resume ignores.
+        (staging / _MANIFEST).write_text(json.dumps(manifest, indent=1))
+        for file_name in [*files, _MANIFEST]:
+            with open(staging / file_name, "rb") as handle:
+                os.fsync(handle.fileno())
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    os.rename(staging, root / name)
+    _fsync_dir(root)
+    _prune(root)
+    return root / name
+
+
+def _prune(root: Path) -> None:
+    complete = sorted(root.glob(f"{_CKPT_PREFIX}*"))
+    for stale in complete[:-CHECKPOINT_KEEP]:
+        shutil.rmtree(stale, ignore_errors=True)
+
+
+def _validate(path: Path) -> Checkpoint:
+    manifest = json.loads((path / _MANIFEST).read_text())
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path.name}: checkpoint format {manifest.get('format')!r} "
+            f"!= {CHECKPOINT_FORMAT}")
+    for file_name, expected in manifest["files"].items():
+        target = path / file_name
+        if not target.is_file():
+            raise CheckpointError(f"{path.name}: missing {file_name}")
+        if target.stat().st_size != expected["bytes"]:
+            raise CheckpointError(
+                f"{path.name}: {file_name} is {target.stat().st_size} "
+                f"bytes, manifest says {expected['bytes']} (torn write?)")
+        if _file_digest(target) != expected["blake2b"]:
+            raise CheckpointError(
+                f"{path.name}: {file_name} fails its checksum")
+    with open(path / _META, "rb") as handle:
+        meta = pickle.load(handle)
+    return Checkpoint(
+        path=path,
+        spec=meta["spec"],
+        config=meta["config"],
+        stats=meta["stats"],
+        frontier=meta["frontier"],
+        rng_state=meta["rng_state"],
+        states=manifest["states"],
+        record_width=manifest["record_width"],
+        record_files=[path / name for name in manifest["record_files"]],
+    )
+
+
+def load_latest_checkpoint(directory: str | Path) -> Checkpoint:
+    """The newest checkpoint under ``directory`` that validates.
+
+    Invalid snapshots (torn writes, truncations, bad checksums) are
+    reported to stderr and skipped — resume falls back to the previous
+    good one.  Raises :class:`CheckpointError` when none validates.
+    """
+    import sys
+
+    root = Path(directory)
+    candidates = sorted(root.glob(f"{_CKPT_PREFIX}*"), reverse=True)
+    failures = []
+    for candidate in candidates:
+        try:
+            return _validate(candidate)
+        except (CheckpointError, OSError, json.JSONDecodeError,
+                pickle.UnpicklingError, KeyError, EOFError) as exc:
+            failures.append(f"{candidate.name}: {exc}")
+            print(f"checkpoint {candidate} is unusable ({exc}); "
+                  f"falling back to the previous one",
+                  file=sys.stderr, flush=True)
+    detail = "; ".join(failures) if failures else "no checkpoints found"
+    raise CheckpointError(f"no usable checkpoint under {root}: {detail}")
+
+
+# ----------------------------------------------------------------------
+# The engines' checkpoint driver
+# ----------------------------------------------------------------------
+
+class Checkpointer:
+    """Periodic + SIGTERM-triggered checkpoint writing for one run.
+
+    Enabled iff ``config.checkpoint_dir`` is set.  ``due()`` fires every
+    ``config.checkpoint_interval`` units of progress (newly explored
+    states; executed transitions when state matching is off) and immediately
+    after a SIGTERM (the handler only sets a flag — the engine writes the
+    snapshot at its next *consistent* point: between node expansions
+    serially, after draining in-flight tasks in the scheduler).
+    ``install()``/``restore()`` bracket the run so the previous SIGTERM
+    handler (coverage.py installs one, for instance) is always put back.
+    """
+
+    def __init__(self, config, spec, store: StateStore, stats):
+        self.config = config
+        self.spec = spec
+        self.store = store
+        self.stats = stats
+        self.enabled = bool(config.checkpoint_dir)
+        self.sigterm = False
+        self._last_progress = self._progress()
+        self._previous_handler = None
+        # Store counters are deltas since this run's store came up; a
+        # resumed SearchStats already carries the previous legs' totals,
+        # so sync() adds the live deltas onto that base (absolute set —
+        # safe to call any number of times).
+        self._counter_base = (stats.store_hits, stats.store_spill_reads,
+                              stats.store_evictions)
+        stats.store = store.kind
+        if self.enabled and spec is None:
+            warnings.warn(
+                "checkpointing needs a registry scenario (resume rebuilds "
+                "the System by name); this hand-built scenario's "
+                "checkpoints can only be resumed by passing scenario= to "
+                "nice.resume()", RuntimeWarning, stacklevel=3)
+
+    def install(self) -> None:
+        """Take over SIGTERM for the duration of the run (main thread
+        only — worker threads cannot install signal handlers)."""
+        if self.enabled and \
+                threading.current_thread() is threading.main_thread():
+            self._previous_handler = signal.signal(
+                signal.SIGTERM, self._on_sigterm)
+
+    def restore(self) -> None:
+        if self._previous_handler is not None:
+            signal.signal(signal.SIGTERM, self._previous_handler)
+            self._previous_handler = None
+
+    def _on_sigterm(self, signum, frame) -> None:
+        self.sigterm = True
+
+    def sync(self) -> None:
+        """Fold the store's live spill/hit counters into the stats."""
+        counters = self.store.counters()
+        self.stats.store_hits = self._counter_base[0] + counters["hits"]
+        self.stats.store_spill_reads = \
+            self._counter_base[1] + counters["spill_reads"]
+        self.stats.store_evictions = \
+            self._counter_base[2] + counters["evictions"]
+
+    def _progress(self) -> int:
+        """What ``checkpoint_interval`` counts: newly explored states —
+        or, with state matching off (the store then only ever holds the
+        initial digest), executed transitions, so bounded no-dedup runs
+        still checkpoint."""
+        if self.config.state_matching:
+            return len(self.store)
+        return self.stats.transitions_executed
+
+    def due(self) -> bool:
+        if not self.enabled:
+            return False
+        if self.sigterm:
+            return True
+        interval = self.config.checkpoint_interval
+        return self._progress() - self._last_progress >= interval
+
+    def write(self, frontier_groups, rng_state) -> Path:
+        """Snapshot now; ``frontier_groups`` is the transport-agnostic
+        ``[(trace, steps | None), ...]`` form of the pending frontier."""
+        start = time.perf_counter()
+        self.sync()
+        # Counted before the write so the snapshot includes itself — a
+        # resumed run then reports every checkpoint its lineage wrote.
+        self.stats.checkpoints_written += 1
+        path = write_checkpoint(
+            self.config.checkpoint_dir, spec=self.spec, config=self.config,
+            stats=self.stats, frontier=frontier_groups, rng_state=rng_state,
+            store=self.store)
+        self.stats.checkpoint_seconds += time.perf_counter() - start
+        self._last_progress = self._progress()
+        return path

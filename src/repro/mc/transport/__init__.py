@@ -91,6 +91,17 @@ class Transport:
         """Tear the workers down; safe to call with tasks in flight."""
         raise NotImplementedError
 
+    def spawn_worker(self) -> int | None:
+        """Start one extra worker, if the transport can.
+
+        Returns the new worker id when the spawn is synchronous (local
+        pools) or None when the worker joins asynchronously (the socket
+        transport's elastic accept loop).  This is the autoscaler hook
+        behind ``NiceConfig.respawn_workers``; transports that cannot
+        grow raise :class:`NotImplementedError`.
+        """
+        raise NotImplementedError
+
     def kill_worker(self, worker_id: int) -> None:
         """Forcibly kill one worker (SIGKILL / connection teardown).
 

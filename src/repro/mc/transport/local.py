@@ -25,6 +25,8 @@ Two start methods:
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
 from multiprocessing import connection as mp_connection
 
 from repro.mc import worker as worker_mod
@@ -49,31 +51,70 @@ class LocalTransport(Transport):
         #: Master-side result ends, worker id -> Connection; dead workers'
         #: entries are dropped so ``recv`` never re-polls a broken pipe.
         self._result_conns: dict[int, object] = {}
+        self._context = None
+        #: The live searcher, kept so ``spawn_worker`` can hand it to a
+        #: respawned fork child via the inheritance seam (spec-less
+        #: scenarios cannot cross a process boundary any other way).
+        self._searcher = None
 
     def start(self, searcher) -> None:
-        context = multiprocessing.get_context(self.start_method)
+        self._context = multiprocessing.get_context(self.start_method)
         inherit = self.spec is None
         if inherit:
+            self._searcher = searcher
             worker_mod._INHERITED_SEARCHER = searcher
         try:
             for worker_id in range(self.workers):
-                task_queue = context.SimpleQueue()
-                recv_end, send_end = context.Pipe(duplex=False)
-                process = context.Process(
-                    target=local_worker_main,
-                    args=(worker_id, task_queue, send_end, self.spec),
-                    daemon=True,
-                )
-                process.start()
-                # The child holds the only live send end now; closing ours
-                # makes the pipe EOF the instant the child dies.
-                send_end.close()
-                self._task_queues.append(task_queue)
-                self._result_conns[worker_id] = recv_end
-                self._processes.append(process)
+                self._launch(worker_id)
         finally:
             if inherit:
                 worker_mod._INHERITED_SEARCHER = None
+
+    def _launch(self, worker_id: int) -> None:
+        """Start one child process serving ``worker_id`` (which must be
+        ``len(self._processes)``)."""
+        task_queue = self._context.SimpleQueue()
+        recv_end, send_end = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=local_worker_main,
+            args=(worker_id, task_queue, send_end, self.spec),
+            daemon=True,
+        )
+        # Fork children inherit the master's signal handlers — including
+        # the checkpointer's flag-setting SIGTERM handler, which a worker
+        # never reads and which would swallow stop()'s terminate()
+        # escalation.  Default SIGTERM briefly around the fork so the
+        # child starts killable (coverage's own child bootstrap re-hooks
+        # SIGTERM after the fork when it needs to).
+        previous = None
+        if threading.current_thread() is threading.main_thread():
+            previous = signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        try:
+            process.start()
+        finally:
+            if previous is not None:
+                signal.signal(signal.SIGTERM, previous)
+        # The child holds the only live send end now; closing ours
+        # makes the pipe EOF the instant the child dies.
+        send_end.close()
+        self._task_queues.append(task_queue)
+        self._result_conns[worker_id] = recv_end
+        self._processes.append(process)
+
+    def spawn_worker(self) -> int:
+        """Start one replacement/extra worker mid-search (the autoscaler
+        hook): a fresh child with the next worker id, inheriting the live
+        searcher (fork) or rebuilding from the spec (spawn)."""
+        worker_id = len(self._processes)
+        inherit = self.spec is None
+        if inherit:
+            worker_mod._INHERITED_SEARCHER = self._searcher
+        try:
+            self._launch(worker_id)
+        finally:
+            if inherit:
+                worker_mod._INHERITED_SEARCHER = None
+        return worker_id
 
     def submit(self, worker_id: int, task: ExpandTask) -> None:
         if worker_id not in self._result_conns:

@@ -66,6 +66,7 @@ class Scenario:
         return Searcher(
             self.system_factory, self.properties, self.config,
             strategy=strategy, discoverer=discoverer,
+            scenario_spec=self.spec,
         )
 
     def __repr__(self):
@@ -75,6 +76,54 @@ class Scenario:
 def run(scenario: Scenario) -> SearchResult:
     """Perform the state-space search and return violations + statistics."""
     return scenario.make_searcher().run()
+
+
+def resume(checkpoint_path, scenario: Scenario | None = None,
+           **config_overrides):
+    """Reconstruct a checkpointed search mid-flight and continue it.
+
+    Loads the newest *valid* checkpoint under ``checkpoint_path`` (torn
+    snapshots fall back to the previous good one), rebuilds the scenario
+    from its stored :class:`~repro.mc.wire.ScenarioSpec` — or reuses a
+    caller-provided ``scenario`` for hand-built scenarios that have no
+    registry spec — and runs the search to completion from the
+    checkpointed explored set, frontier, and statistics.  The explored
+    state space of checkpoint + resumed leg is bit-identical to an
+    uninterrupted run, on any transport.
+
+    ``config_overrides`` replace fields of the checkpointed config —
+    engine knobs only (``workers``, ``transport``, ``checkpoint_*``,
+    ``store*``…); overriding model or hashing knobs would change what
+    the stored digests *mean* and is not supported.
+
+    Returns ``(scenario, stats)``.
+    """
+    import dataclasses
+
+    from repro.mc import store as store_mod
+
+    checkpoint = store_mod.load_latest_checkpoint(checkpoint_path)
+    config = checkpoint.config
+    if config_overrides:
+        config = dataclasses.replace(config, **config_overrides)
+    if scenario is None:
+        if checkpoint.spec is None:
+            raise store_mod.CheckpointError(
+                f"the checkpoint under {checkpoint_path} carries no "
+                f"scenario spec (hand-built scenario); pass the scenario "
+                f"to nice.resume() explicitly")
+        spec = dataclasses.replace(checkpoint.spec, config=config)
+        scenario = spec.build()
+    else:
+        derived = Scenario(scenario.topo, scenario.app_factory,
+                           scenario.hosts_factory, scenario.properties,
+                           config, name=scenario.name)
+        if scenario.spec is not None:
+            derived.spec = dataclasses.replace(scenario.spec, config=config)
+        scenario = derived
+    searcher = scenario.make_searcher()
+    searcher._resume = checkpoint
+    return scenario, searcher.run()
 
 
 def replay(scenario: Scenario, trace, expected_hash: str | None = None):

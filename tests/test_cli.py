@@ -61,6 +61,30 @@ class TestParser:
             ["worker", "--connect", "10.0.0.1:7000"])
         assert args.connect == "10.0.0.1:7000"
 
+    def test_store_and_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["run", "ping", "--store", "sharded", "--store-shards", "8",
+             "--store-memory-budget", "1000",
+             "--checkpoint-dir", "/tmp/ck", "--checkpoint-interval", "500"])
+        assert args.store == "sharded"
+        assert args.store_shards == 8
+        assert args.store_memory_budget == 1000
+        assert args.checkpoint_dir == "/tmp/ck"
+        assert args.checkpoint_interval == 500
+
+    def test_rejects_unknown_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "ping", "--store", "etcd"])
+
+    def test_resume_requires_directory(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resume"])
+        args = build_parser().parse_args(
+            ["resume", "/tmp/ck", "--workers", "4", "--transport", "socket"])
+        assert args.checkpoint_dir == "/tmp/ck"
+        assert args.workers == 4
+        assert args.transport == "socket"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -134,6 +158,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "max_transitions" in out
         assert code == 0
+
+    def test_run_checkpoint_then_resume(self, capsys, tmp_path):
+        """End-to-end through the CLI: checkpoint a run, resume the last
+        snapshot, and the resumed leg reports its provenance."""
+        ckpt = str(tmp_path / "ck")
+        code = main(["run", "ping", "--pings", "2", "--all-violations",
+                     "--checkpoint-dir", ckpt,
+                     "--checkpoint-interval", "100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "checkpoints          :" in out
+        code = main(["resume", ckpt, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["resumed_from"].startswith(ckpt)
+        assert payload["scenario"] == "ping-2"
+        # counters land where the uninterrupted run would have
+        assert payload["unique_states"] > 0
+
+    def test_resume_without_checkpoints_fails_cleanly(self, capsys,
+                                                      tmp_path):
+        code = main(["resume", str(tmp_path / "empty")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no usable checkpoint" in err
 
     def test_walk(self, capsys):
         code = main(["walk", "pyswitch-loop", "--steps", "40", "--seed", "1"])

@@ -147,6 +147,47 @@ class TestElasticJoin:
 
 
 # ----------------------------------------------------------------------
+# Autoscaler: a dead worker is replaced (``respawn_workers``)
+# ----------------------------------------------------------------------
+
+class TestWorkerRespawn:
+    @pytest.mark.parametrize("overrides,engine", ENGINES)
+    def test_kill_then_respawn_preserves_results(self, overrides, engine,
+                                                 serial_ping, monkeypatch):
+        """Kill a worker mid-search with respawn on: the pool recovers,
+        the replacement measurably works, and the explored state space
+        stays bit-identical to serial."""
+        stats, chaos = run_with_chaos(
+            monkeypatch,
+            exhaustive_ping(workers=2, respawn_workers=True, **overrides),
+            {5: 0})
+        assert chaos.killed == [0]
+        assert counters(stats) == counters(serial_ping)
+        assert violated_properties(stats) == violated_properties(serial_ping)
+        assert stats.worker_failures == 1
+        assert stats.workers_respawned == 1
+        # Local pools enroll the replacement synchronously under a fresh
+        # id; socket replacements join through the elastic accept path.
+        if engine.startswith("local"):
+            assert stats.worker_tasks.get(2, 0) > 0
+        else:
+            assert stats.elastic_joins >= 1
+
+    @requires_fork
+    def test_respawn_satisfies_min_workers_floor(self, serial_ping,
+                                                 monkeypatch):
+        """With respawn on, a death no longer violates min_workers=2 —
+        the same schedule that cleanly aborts without respawn (see
+        TestFailurePolicy) now completes exactly."""
+        stats, _ = run_with_chaos(
+            monkeypatch,
+            exhaustive_ping(workers=2, min_workers=2, respawn_workers=True),
+            {5: 0})
+        assert counters(stats) == counters(serial_ping)
+        assert stats.workers_respawned == 1
+
+
+# ----------------------------------------------------------------------
 # Policy: when churn is unsurvivable, fail clean
 # ----------------------------------------------------------------------
 
