@@ -17,7 +17,8 @@ Examples::
     nice run loadbalancer --workers 2 --transport socket
     nice run ping --pings 3 --checkpoint-dir ./ckpt --store sharded
     nice resume ./ckpt --workers 4
-    nice worker --connect 192.0.2.10:7000
+    nice checkpoints ./ckpt
+    nice worker --connect 192.0.2.10:7000 --retry 10
     nice walk energy-te --steps 500 --seed 7
     nice list
 """
@@ -40,6 +41,7 @@ from repro.config import (
     STORE_MEMORY,
     NiceConfig,
 )
+from repro.apps.hostile import MODES as HOSTILE_MODES
 from repro.mc.replay import format_trace
 from repro.mc.store import CheckpointError
 
@@ -61,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default="PKT-SEQ")
     run_p.add_argument("--pings", type=int, default=2,
                        help="ping pairs (ping scenario only)")
+    run_p.add_argument("--mode", choices=HOSTILE_MODES, default="benign",
+                       help="misbehavior mode (hostile scenario only)")
+    run_p.add_argument("--arm-file", default=None,
+                       help="hostile scenario: arm-counter file; each"
+                            " misbehavior decrements it, -1 = always fire")
     run_p.add_argument("--max-transitions", type=int, default=None)
     run_p.add_argument("--max-pkt-sequence", type=int, default=2)
     run_p.add_argument("--max-outstanding", type=int, default=1)
@@ -98,6 +105,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tolerate at most N worker deaths before giving "
                             "up (default: unlimited while min-workers "
                             "survive; 0 = abort on the first death)")
+    run_p.add_argument("--respawn-workers", action="store_true",
+                       help="replace each dead worker with a fresh process "
+                            "(the autoscaler hook; keeps the pool at size "
+                            "through crash storms)")
+    run_p.add_argument("--heartbeat-interval", type=float,
+                       default=NiceConfig.heartbeat_interval, metavar="SEC",
+                       help="worker liveness beat period (0 disables "
+                            "heartbeats and hang detection)")
+    run_p.add_argument("--task-deadline", type=float, default=None,
+                       metavar="SEC",
+                       help="hard per-task deadline after which a silent "
+                            "worker is declared hung and killed (default: "
+                            "derived from observed task round-trip times; "
+                            "0 disables deadlines)")
+    run_p.add_argument("--max-task-retries", type=int,
+                       default=NiceConfig.max_task_retries, metavar="N",
+                       help="worker deaths one sibling group may survive "
+                            "before it is quarantined as a poison task")
+    run_p.add_argument("--no-quarantine", action="store_true",
+                       help="record poison tasks as diagnostics immediately "
+                            "instead of retrying them in a sandboxed "
+                            "subprocess")
+    run_p.add_argument("--worker-memory-limit", type=int, default=None,
+                       metavar="BYTES",
+                       help="worker rss watchdog: above this, a worker "
+                            "sheds its replay cache and, if still over, "
+                            "recycles itself")
+    run_p.add_argument("--fail-fast", action="store_true",
+                       help="abort on exceptions raised by the model under "
+                            "test instead of recording them as replayable "
+                            "ModelError counterexamples")
     run_p.add_argument("--no-adaptive-batching", action="store_true",
                        help="use the static --batch-groups/--batch-nodes "
                             "task sizes instead of adapting them per worker "
@@ -199,6 +237,21 @@ def build_parser() -> argparse.ArgumentParser:
              "socket`) as one search worker")
     worker_p.add_argument("--connect", required=True, metavar="HOST:PORT",
                           help="address the master is listening on")
+    worker_p.add_argument("--retry", type=int, default=5, metavar="N",
+                          help="connection attempts before giving up "
+                               "(jittered exponential backoff between "
+                               "attempts; 1 = a single try)")
+    worker_p.add_argument("--retry-max-wait", type=float, default=30.0,
+                          metavar="SEC",
+                          help="backoff ceiling between connection attempts")
+
+    ckpt_p = sub.add_parser(
+        "checkpoints",
+        help="inspect a checkpoint directory: list snapshots, validate "
+             "each (sizes + checksums), and show what a resume would load")
+    ckpt_p.add_argument("checkpoint_dir", metavar="DIR")
+    ckpt_p.add_argument("--json", action="store_true",
+                        help="machine-readable output")
 
     sub.add_parser("list", help="list available scenarios")
     return parser
@@ -221,6 +274,13 @@ def make_config(args) -> NiceConfig:
         affinity=not args.no_affinity,
         min_workers=args.min_workers,
         max_worker_failures=args.max_worker_failures,
+        respawn_workers=args.respawn_workers,
+        heartbeat_interval=args.heartbeat_interval,
+        task_deadline=args.task_deadline,
+        max_task_retries=args.max_task_retries,
+        quarantine=not args.no_quarantine,
+        worker_memory_limit=args.worker_memory_limit,
+        fail_fast=args.fail_fast,
         adaptive_batching=not args.no_adaptive_batching,
         checkpoint_mode=args.checkpoint_mode,
         hash_memoization=not args.no_hash_memoization,
@@ -241,6 +301,10 @@ def build_scenario(name: str, args, config: NiceConfig | None):
     builder = SCENARIOS[name]
     if name == "ping":
         return builder(pings=getattr(args, "pings", 2), config=config)
+    if name == "hostile":
+        return builder(mode=getattr(args, "mode", "benign"),
+                       arm_file=getattr(args, "arm_file", None),
+                       config=config)
     return builder(config=config)
 
 
@@ -256,6 +320,14 @@ def cmd_run(args) -> int:
             ("--min-workers", args.min_workers == NiceConfig.min_workers),
             ("--max-worker-failures",
              args.max_worker_failures == NiceConfig.max_worker_failures),
+            ("--respawn-workers", not args.respawn_workers),
+            ("--heartbeat-interval",
+             args.heartbeat_interval == NiceConfig.heartbeat_interval),
+            ("--task-deadline", args.task_deadline is None),
+            ("--max-task-retries",
+             args.max_task_retries == NiceConfig.max_task_retries),
+            ("--no-quarantine", not args.no_quarantine),
+            ("--worker-memory-limit", args.worker_memory_limit is None),
             ("--no-adaptive-batching", not args.no_adaptive_batching),
             ("--batch-groups", args.batch_groups == NiceConfig.batch_groups),
             ("--batch-nodes", args.batch_nodes == NiceConfig.batch_nodes),
@@ -289,6 +361,15 @@ def _report(result, args, scenario_name: str, strategy: str) -> int:
             "groups_reassigned": result.groups_reassigned,
             "elastic_joins": result.elastic_joins,
             "workers_respawned": result.workers_respawned,
+            "workers_hung": result.workers_hung,
+            "deadline_kills": result.deadline_kills,
+            "tasks_quarantined": result.tasks_quarantined,
+            "model_errors": result.model_errors,
+            "quarantined_tasks": [
+                {"trace_length": len(q.trace), "attempts": q.attempts,
+                 "reason": q.reason}
+                for q in result.quarantined_tasks
+            ],
             "worker_tasks": {str(w): n
                              for w, n in sorted(result.worker_tasks.items())},
             "store": result.store,
@@ -357,7 +438,53 @@ def cmd_list() -> int:
 def cmd_worker(args) -> int:
     from repro.mc.transport.socket import run_worker
 
-    return run_worker(args.connect)
+    return run_worker(args.connect, retries=args.retry,
+                      retry_max_wait=args.retry_max_wait)
+
+
+def cmd_checkpoints(args) -> int:
+    from repro.mc.store import list_checkpoints, validate_checkpoint
+
+    entries = list_checkpoints(args.checkpoint_dir)
+    report = []
+    newest_valid = None
+    for path in entries:
+        try:
+            checkpoint = validate_checkpoint(path)
+        except CheckpointError as exc:
+            report.append({"name": path.name, "valid": False,
+                           "error": str(exc)})
+            continue
+        spec = checkpoint.spec
+        report.append({
+            "name": path.name,
+            "valid": True,
+            "scenario": spec.name if spec is not None else None,
+            "states": checkpoint.states,
+            "frontier": len(checkpoint.frontier),
+            "transitions": checkpoint.stats.get("transitions_executed"),
+            "violations": len(checkpoint.stats.get("violations", [])),
+        })
+        newest_valid = path.name
+    if args.json:
+        print(json.dumps({"checkpoint_dir": args.checkpoint_dir,
+                          "resume_would_load": newest_valid,
+                          "checkpoints": report}, indent=2))
+    else:
+        if not entries:
+            print(f"no checkpoints under {args.checkpoint_dir}")
+        for entry in report:
+            if entry["valid"]:
+                print(f"{entry['name']}: ok  scenario={entry['scenario']}"
+                      f" states={entry['states']}"
+                      f" frontier={entry['frontier']}"
+                      f" transitions={entry['transitions']}"
+                      f" violations={entry['violations']}")
+            else:
+                print(f"{entry['name']}: INVALID ({entry['error']})")
+        if newest_valid is not None:
+            print(f"resume would load: {newest_valid}")
+    return 0 if newest_valid is not None else 2
 
 
 def main(argv=None) -> int:
@@ -370,6 +497,8 @@ def main(argv=None) -> int:
         return cmd_walk(args)
     if args.command == "worker":
         return cmd_worker(args)
+    if args.command == "checkpoints":
+        return cmd_checkpoints(args)
     if args.command == "list":
         return cmd_list()
     return 2

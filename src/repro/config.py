@@ -195,6 +195,31 @@ class NiceConfig:
       tolerates before giving up; ``None`` (the default) tolerates any
       number while ``min_workers`` workers survive, ``0`` restores the
       pre-PR 4 abort-on-first-death behavior.
+    * ``heartbeat_interval`` — seconds between worker liveness beats on
+      the result channel (DESIGN.md, "Failure containment").  ``0``
+      disables heartbeats.
+    * ``task_deadline`` — hard per-task deadline in seconds after which a
+      silent worker is declared *hung*, killed, and its groups requeued.
+      ``None`` (the default) derives the deadline from the adaptive-RTT
+      estimator; ``0`` disables hang detection entirely.
+    * ``max_task_retries`` — how many times a sibling group implicated in
+      a worker death is re-dispatched to the fleet before it is treated
+      as *poison* and quarantined.
+    * ``quarantine`` — execute a poison group once in a sandboxed
+      one-shot subprocess with rlimits; on success the result is merged
+      (bit-identity preserved), on a second death the search degrades
+      gracefully and records a :class:`~repro.mc.search.QuarantinedTask`
+      diagnostic instead of aborting.  ``False`` skips the sandbox and
+      degrades immediately after ``max_task_retries``.
+    * ``worker_memory_limit`` — soft RSS bound in bytes per worker; an
+      over-limit worker sheds its replay cache and, if still over,
+      recycles itself through the respawn path.  Also used as the
+      address-space rlimit of the quarantine sandbox.  ``None`` disables
+      the watchdog.
+    * ``fail_fast`` — restore the pre-containment behavior for model
+      exceptions: an exception escaping a controller/host handler aborts
+      the search instead of being recorded as a replayable ``ModelError``
+      counterexample.
     * ``seed`` — seed for the random-walk frontier.
     """
 
@@ -235,6 +260,12 @@ class NiceConfig:
     adaptive_batching: bool = True
     min_workers: int = 1
     max_worker_failures: int | None = None
+    heartbeat_interval: float = 0.5
+    task_deadline: float | None = None
+    max_task_retries: int = 2
+    quarantine: bool = True
+    worker_memory_limit: int | None = None
+    fail_fast: bool = False
     store: str = STORE_MEMORY
     store_shards: int = 16
     store_memory_budget: int = 1_000_000
@@ -291,6 +322,15 @@ class NiceConfig:
         if self.max_worker_failures is not None \
                 and self.max_worker_failures < 0:
             raise ValueError("max_worker_failures must be >= 0 or None")
+        if self.heartbeat_interval < 0:
+            raise ValueError("heartbeat_interval must be >= 0")
+        if self.task_deadline is not None and self.task_deadline < 0:
+            raise ValueError("task_deadline must be >= 0 or None")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        if self.worker_memory_limit is not None \
+                and self.worker_memory_limit < 1:
+            raise ValueError("worker_memory_limit must be >= 1 or None")
         if self.store not in ALL_STORES:
             raise ValueError(
                 f"unknown store {self.store!r};"

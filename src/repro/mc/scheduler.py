@@ -73,16 +73,27 @@ condition trips may have executed extra transitions.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import sys
 import time
 from collections import deque
 
 from repro.config import ORDER_BFS, ORDER_DFS
 from repro.mc import store as store_mod
-from repro.mc.search import Searcher, SearchStats, Violation, _StopSearch
+from repro.mc.search import (
+    MODEL_ERROR_PROPERTY,
+    ModelError,
+    QuarantinedTask,
+    Searcher,
+    SearchStats,
+    Violation,
+    _StopSearch,
+)
 from repro.mc.transport import TransportError, WorkerLost, create_transport
 from repro.mc.wire import (
     ExpandTask,
+    Heartbeat,
     TaskResult,
     WorkerError,
     WorkerGone,
@@ -131,6 +142,25 @@ class _Scheduler:
     BATCH_SHRINK = 0.5
     MAX_BATCH_NODES = 512
 
+    #: Hang detection (DESIGN.md, "Failure containment").  A task's hard
+    #: deadline derives from the worker's EWMA task round-trip time:
+    #: ``DEADLINE_RTT_FACTOR x rtt x PER_WORKER_INFLIGHT`` (the depth
+    #: factor because a task can wait behind the others in the worker's
+    #: queue), floored at DEADLINE_FLOOR seconds so early noisy samples
+    #: never declare a healthy worker hung.  ``task_deadline`` pins the
+    #: deadline instead; ``0`` disables detection.
+    DEADLINE_FLOOR = 30.0
+    DEADLINE_RTT_FACTOR = 50.0
+    #: EWMA weight of a new RTT sample in the deadline estimator.
+    RTT_EWMA = 0.3
+    #: Fallback wall-clock allowance for one quarantine sandbox run when
+    #: no explicit ``task_deadline`` is configured.
+    QUARANTINE_DEADLINE = 30.0
+    #: Seconds an asynchronously respawned worker (socket transport) gets
+    #: to complete its elastic join before it stops counting toward the
+    #: ``min_workers`` floor.
+    RESPAWN_GRACE = 60.0
+
     def __init__(self, searcher: ParallelSearcher, transport):
         self.searcher = searcher
         self.config = searcher.config
@@ -160,6 +190,23 @@ class _Scheduler:
         self._batch: dict[int, float] = {}
         #: task id -> (submit timestamp, pipelining depth at submit).
         self._submit_times: dict[int, tuple[float, int]] = {}
+        #: Per-worker EWMA of per-task service time, feeding the deadline
+        #: derivation (kept separately from ``_batch`` so hang detection
+        #: works with adaptive batching off).
+        self._rtt: dict[int, float] = {}
+        #: task id -> absolute monotonic deadline (only tasks with hang
+        #: detection enabled appear here).
+        self._deadlines: dict[int, float] = {}
+        #: worker id -> monotonic timestamp of its last heartbeat.
+        self._last_beat: dict[int, float] = {}
+        #: Poison attribution: content key of a sibling group -> number of
+        #: worker deaths that group was in flight for.
+        self._poison: dict[bytes, int] = {}
+        #: Replacements requested from an *asynchronous* spawn_worker (the
+        #: socket transport): they count toward the ``min_workers`` floor
+        #: until they join or ``_respawn_deadline`` expires.
+        self._pending_respawns = 0
+        self._respawn_deadline: float | None = None
         self._next_task_id = 0
         self._next_round_robin = 0
         self.stats = SearchStats()
@@ -233,15 +280,25 @@ class _Scheduler:
                         raise _StopSearch()
                     continue  # the drain may have emptied the frontier
                 self._dispatch()
-                self._handle(self.transport.recv())
+                message = self.transport.recv(timeout=self._recv_timeout())
+                if message is not None:
+                    self._handle(message)
+                self._check_deadlines()
         except _StopSearch:
             pass
         finally:
-            self.transport.stop()
-            checkpointer.restore()
-            checkpointer.sync()
-            stats.unique_states = len(self._explored)
-            self._explored.close()
+            # Nested so an exception out of stop() (a transport teardown
+            # bug, a signal mid-close) can never skip restoring the
+            # previous SIGTERM handler — leaking the checkpointer's
+            # flag-setting handler past the search would swallow real
+            # SIGTERMs for the rest of the process.
+            try:
+                self.transport.stop()
+            finally:
+                checkpointer.restore()
+                checkpointer.sync()
+                stats.unique_states = len(self._explored)
+                self._explored.close()
         stats.wall_time = time.perf_counter() - start
         # Worker deltas were merged per task; add the master's own hashing
         # (the initial state) on top.
@@ -250,9 +307,14 @@ class _Scheduler:
 
     def _drain(self) -> None:
         """Absorb every in-flight result (worker churn included) so the
-        master state is a consistent cut of the search."""
+        master state is a consistent cut of the search.  Deadlines keep
+        ticking here too — a worker that hangs while a checkpoint drains
+        would otherwise stall the snapshot forever."""
         while self._in_flight:
-            self._handle(self.transport.recv())
+            message = self.transport.recv(timeout=self._recv_timeout())
+            if message is not None:
+                self._handle(message)
+            self._check_deadlines()
 
     def _frontier_groups(self) -> list:
         """Every queued sibling group, global queue first then per-owner
@@ -265,6 +327,8 @@ class _Scheduler:
     def _handle(self, message) -> None:
         if isinstance(message, TaskResult):
             self._merge(message)
+        elif isinstance(message, Heartbeat):
+            self._last_beat[message.worker_id] = time.monotonic()
         elif isinstance(message, WorkerGone):
             self._on_worker_gone(message.worker_id, message.reason)
         elif isinstance(message, WorkerJoined):
@@ -273,6 +337,9 @@ class _Scheduler:
             # A task that *raised* inside the worker is a deterministic
             # bug, not churn: retrying it elsewhere would raise the same
             # way, so surface the traceback instead of looping forever.
+            # Model-handler exceptions never arrive here unless fail_fast
+            # asked for exactly this abort — workers contain them as
+            # ModelError counterexamples (see WorkerRuntime.expand).
             raise TransportError(
                 f"worker {message.worker_id} failed on task"
                 f" {message.task_id}:\n{message.error}")
@@ -298,6 +365,8 @@ class _Scheduler:
         self._live.discard(worker_id)
         self._load.pop(worker_id, None)
         self._batch.pop(worker_id, None)
+        self._rtt.pop(worker_id, None)
+        self._last_beat.pop(worker_id, None)
         stats = self.stats
         stats.worker_failures += 1
         # A tolerated death must still be *visible*: the reason can carry a
@@ -308,17 +377,27 @@ class _Scheduler:
               f" {reason}", file=sys.stderr, flush=True)
         # Requeue in-flight sibling groups.  The old task ids are simply
         # forgotten: a stale result still in the pipe when the death was
-        # detected no longer matches ``_in_flight`` and is dropped, so
-        # every group is merged exactly once — the bit-identical-state-
-        # space guarantee under churn.
+        # detected no longer matches ``_in_flight`` and is dropped —
+        # whether the death was organic or a deadline kill — so every
+        # group is merged exactly once: the bit-identical-state-space
+        # guarantee under churn.  Each group is charged one death toward
+        # poison attribution; past ``max_task_retries`` it goes to
+        # quarantine instead of back to the fleet.
+        poisoned: list[tuple[tuple, int]] = []
         for task_id in [t for t, (w, _) in self._in_flight.items()
                         if w == worker_id]:
             _, groups = self._in_flight.pop(task_id)
             self._submit_times.pop(task_id, None)
+            self._deadlines.pop(task_id, None)
             stats.tasks_retried += 1
             for group in groups:
                 stats.groups_reassigned += 1
-                self._push(None, group)
+                attempts = self._poison.get(self._group_key(group), 0) + 1
+                self._poison[self._group_key(group)] = attempts
+                if attempts > self.config.max_task_retries:
+                    poisoned.append((group, attempts))
+                else:
+                    self._push(None, group)
         # Affinity repair: the dead worker's replay cache is gone, so its
         # queued groups lose their owner and rejoin the global queue (the
         # next dispatch re-counts them as affinity misses).
@@ -339,12 +418,147 @@ class _Scheduler:
                 f"giving up after {stats.worker_failures} worker"
                 f" failures (max_worker_failures={failures_allowed});"
                 f" last failure: worker {worker_id}: {reason}")
-        if len(self._live) < self.config.min_workers:
+        if (len(self._live) + self._pending_respawns
+                < self.config.min_workers):
             raise TransportError(
                 f"worker pool shrank to {len(self._live)} live worker(s),"
                 f" below min_workers={self.config.min_workers}"
                 f" ({stats.worker_failures} failure(s) total);"
                 f" last failure: worker {worker_id}: {reason}")
+        # Quarantine last, after the pool is repaired and the policy has
+        # passed: the sandbox can merge results (possibly stopping the
+        # search) and must not run if the fleet is aborting anyway.
+        for group, attempts in poisoned:
+            self._quarantine(group, attempts)
+
+    @staticmethod
+    def _group_key(group) -> bytes:
+        """Content identity of a sibling group, stable across requeues and
+        re-batching (the same group object round-trips through the
+        scheduler, so its pickled form is stable within a run)."""
+        payload = pickle.dumps(group, protocol=pickle.HIGHEST_PROTOCOL)
+        return hashlib.blake2b(payload, digest_size=16).digest()
+
+    # ------------------------------------------------------------------
+    # Poison-task quarantine
+    # ------------------------------------------------------------------
+
+    def _quarantine(self, group, attempts: int) -> None:
+        """A group has now been in flight for ``attempts`` worker deaths:
+        stop feeding it to the fleet.  With quarantine enabled it gets one
+        last run in a sandboxed one-shot subprocess (rlimits contain what
+        killed the pool workers); a sandbox success merges normally —
+        bit-identity to serial is preserved.  Any sandbox failure — or
+        quarantine disabled — degrades gracefully: the group is abandoned
+        and a :class:`~repro.mc.search.QuarantinedTask` diagnostic records
+        what was given up, instead of the whole search aborting."""
+        stats = self.stats
+        trace, steps = group
+        if self.config.quarantine:
+            stats.tasks_quarantined += 1
+            print(f"sibling group at trace length {len(trace)} survived"
+                  f" {attempts} worker death(s); quarantining it in a"
+                  f" sandboxed subprocess", file=sys.stderr, flush=True)
+            out, failure = self._sandbox_expand(group)
+            if out is not None:
+                print("quarantined group completed in the sandbox;"
+                      " merging its result", file=sys.stderr, flush=True)
+                self._absorb(out, [group], None)
+                return
+        else:
+            failure = "quarantine disabled (NiceConfig.quarantine=False)"
+        stats.quarantined_tasks.append(
+            QuarantinedTask(trace, steps, attempts, failure))
+        print(f"abandoning poison sibling group after {attempts}"
+              f" attempt(s): {failure}\nthe rest of the state space is"
+              f" still being explored", file=sys.stderr, flush=True)
+
+    def _sandbox_expand(self, group):
+        """Run one group through ``quarantine_worker_main`` in a fresh
+        subprocess.  Returns ``(out, "")`` on success or ``(None, why)``
+        on any failure."""
+        import multiprocessing
+        import signal
+        import threading
+
+        from repro.mc import worker as worker_mod
+        from repro.mc.wire import spec_is_portable
+
+        spec = self.searcher.scenario_spec
+        if "fork" in multiprocessing.get_all_start_methods():
+            # Fork even under spawn/socket transports: it inherits the
+            # live searcher, so hand-built scenarios stay quarantinable.
+            context = multiprocessing.get_context("fork")
+            use_spec = None
+        elif spec_is_portable(spec):
+            context = multiprocessing.get_context("spawn")
+            use_spec = spec
+        else:
+            return None, ("no sandbox available: the platform lacks 'fork'"
+                          " and the scenario has no portable spec")
+        allowance = self.config.task_deadline or self.QUARANTINE_DEADLINE
+        limits = {"cpu": int(allowance) + 1,
+                  "address_space": self.config.worker_memory_limit}
+        recv_end, send_end = context.Pipe(duplex=False)
+        inherit = use_spec is None
+        if inherit:
+            worker_mod._INHERITED_SEARCHER = self.searcher
+        try:
+            process = context.Process(
+                target=worker_mod.quarantine_worker_main,
+                args=(send_end, use_spec, [group], limits), daemon=True)
+            # Same SIGTERM bracket as the local transport's _launch: the
+            # sandbox must not inherit the checkpointer's flag handler.
+            previous = None
+            if threading.current_thread() is threading.main_thread():
+                previous = signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            try:
+                process.start()
+            finally:
+                if previous is not None:
+                    signal.signal(signal.SIGTERM, previous)
+        finally:
+            if inherit:
+                worker_mod._INHERITED_SEARCHER = None
+        send_end.close()
+        reply = None
+        timed_out = False
+        try:
+            if recv_end.poll(allowance + 5.0):
+                reply = recv_end.recv()
+            else:
+                timed_out = True
+        except (EOFError, OSError):
+            reply = None  # died mid-write; exit status tells the story
+        try:
+            if reply is None:
+                if timed_out and process.is_alive():
+                    process.kill()
+                    process.join(5.0)
+                    return None, (f"sandbox run exceeded its"
+                                  f" {allowance:.0f}s allowance")
+                # A pipe EOF races process teardown: the kernel closes the
+                # child's fds a beat before it becomes reapable, so join
+                # *before* reading the exit code or a self-inflicted
+                # SIGKILL gets misread as a hang.
+                process.join(5.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(5.0)
+                    return None, (f"sandbox run exceeded its"
+                                  f" {allowance:.0f}s allowance")
+                return None, (f"sandbox run died"
+                              f" ({_describe_exit(process.exitcode)})")
+            if isinstance(reply, TaskResult):
+                return reply.out, ""
+            if isinstance(reply, WorkerError):
+                return None, f"sandbox run raised:\n{reply.error}"
+            return None, f"sandbox sent an unexpected {reply!r}"
+        finally:
+            if process.is_alive():
+                process.kill()
+            process.join(5.0)
+            recv_end.close()
 
     def _respawn(self, dead_worker_id: int) -> None:
         """Ask the transport for a replacement worker (``respawn_workers``).
@@ -368,6 +582,15 @@ class _Scheduler:
             self.stats.workers += 1
             print(f"respawned worker {new_id} to replace dead worker"
                   f" {dead_worker_id}", file=sys.stderr, flush=True)
+        elif new_id is None:
+            # Asynchronous join (socket): the replacement holds a seat in
+            # the min_workers accounting until it arrives — or until the
+            # grace deadline declares it lost.
+            self._pending_respawns += 1
+            self._respawn_deadline = time.monotonic() + self.RESPAWN_GRACE
+            print(f"respawning a replacement for dead worker"
+                  f" {dead_worker_id} (joins asynchronously)",
+                  file=sys.stderr, flush=True)
 
     def _enroll(self, worker_id: int) -> None:
         """Enter a worker into the routing tables."""
@@ -381,6 +604,10 @@ class _Scheduler:
         ``_dispatch`` feeds it (an idle joiner steals immediately)."""
         if worker_id in self._live or worker_id in self._dead:
             return
+        if self._pending_respawns:
+            self._pending_respawns -= 1
+            if not self._pending_respawns:
+                self._respawn_deadline = None
         self._enroll(worker_id)
         self.stats.elastic_joins += 1
         self.stats.workers += 1
@@ -427,8 +654,11 @@ class _Scheduler:
             # submitted behind another in-flight task waits its turn, and
             # counting that queueing as service time would stop batch
             # growth at half the intended threshold.
-            self._submit_times[task_id] = (time.monotonic(),
-                                           self._load[worker_id])
+            now = time.monotonic()
+            self._submit_times[task_id] = (now, self._load[worker_id])
+            allowance = self._task_deadline(worker_id)
+            if allowance:
+                self._deadlines[task_id] = now + allowance
             try:
                 self.transport.submit(worker_id, ExpandTask(task_id, groups))
             except WorkerLost as lost:
@@ -489,6 +719,13 @@ class _Scheduler:
         return max(1, round(node_budget * ratio))
 
     def _observe_rtt(self, worker_id: int, rtt: float) -> None:
+        # The deadline estimator smooths every sample, independent of
+        # whether batch adaptation is on — hang detection must not change
+        # its trigger when the batching baseline is being measured.
+        previous = self._rtt.get(worker_id)
+        self._rtt[worker_id] = (rtt if previous is None else
+                                (1 - self.RTT_EWMA) * previous
+                                + self.RTT_EWMA * rtt)
         if not self.config.adaptive_batching \
                 or worker_id not in self._batch:
             return
@@ -542,6 +779,85 @@ class _Scheduler:
         return longest, False
 
     # ------------------------------------------------------------------
+    # Hang detection
+    # ------------------------------------------------------------------
+
+    def _task_deadline(self, worker_id: int) -> float:
+        """Seconds a freshly submitted task gets before its worker is
+        declared hung; 0 disables (see the class constants)."""
+        if self.config.task_deadline is not None:
+            return self.config.task_deadline
+        rtt = self._rtt.get(worker_id)
+        if rtt is None:
+            return self.DEADLINE_FLOOR
+        return max(self.DEADLINE_FLOOR,
+                   self.DEADLINE_RTT_FACTOR * rtt * self.PER_WORKER_INFLIGHT)
+
+    def _recv_timeout(self) -> float | None:
+        """How long ``recv`` may block: until the nearest task deadline or
+        the respawn-grace deadline, or forever when neither is armed."""
+        armed = list(self._deadlines.values())
+        if self._respawn_deadline is not None:
+            armed.append(self._respawn_deadline)
+        if not armed:
+            return None
+        return max(0.05, min(armed) - time.monotonic())
+
+    def _check_deadlines(self) -> None:
+        """Declare workers with expired tasks hung: kill and requeue.
+
+        Runs after every ``recv`` wakeup (results, heartbeats, and
+        timeouts alike).  The kill routes the worker through the ordinary
+        death path — requeue, poison attribution, respawn, policy — and
+        the transport's own later WorkerGone for the killed process is
+        deduplicated by ``_dead``.  Results already in the pipe from the
+        killed worker no longer match ``_in_flight`` and are dropped, the
+        same stale-result rule any death relies on."""
+        now = time.monotonic()
+        if (self._respawn_deadline is not None
+                and now >= self._respawn_deadline):
+            # Replacement worker(s) never joined: their seats in the
+            # min_workers accounting are forfeit.  Re-apply the floor so
+            # a fleet waiting on ghosts aborts instead of hanging.
+            lost = self._pending_respawns
+            self._pending_respawns = 0
+            self._respawn_deadline = None
+            if len(self._live) < self.config.min_workers:
+                raise TransportError(
+                    f"{lost} respawned replacement worker(s) never joined"
+                    f" within {self.RESPAWN_GRACE:.0f}s and the pool"
+                    f" ({len(self._live)} live) is below"
+                    f" min_workers={self.config.min_workers}")
+        if not self._deadlines:
+            return
+        expired = [task_id for task_id, deadline in self._deadlines.items()
+                   if deadline <= now]
+        for task_id in expired:
+            held = self._in_flight.get(task_id)
+            if held is None:
+                self._deadlines.pop(task_id, None)
+                continue
+            worker_id = held[0]
+            if worker_id in self._dead:
+                continue  # its death is already being processed
+            beat = self._last_beat.get(worker_id)
+            liveness = ("no heartbeat received" if beat is None
+                        else f"last heartbeat {now - beat:.1f}s ago")
+            self.stats.workers_hung += 1
+            print(f"search worker {worker_id} declared hung: task"
+                  f" {task_id} missed its deadline ({liveness});"
+                  f" killing it", file=sys.stderr, flush=True)
+            try:
+                self.transport.kill_worker(worker_id)
+                self.stats.deadline_kills += 1
+            except Exception as exc:  # noqa: BLE001 - still requeue its work
+                print(f"could not kill hung worker {worker_id}: {exc}",
+                      file=sys.stderr, flush=True)
+            self._on_worker_gone(
+                worker_id,
+                f"hung: task {task_id} exceeded its deadline ({liveness})")
+
+    # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
 
@@ -553,21 +869,28 @@ class _Scheduler:
     def _merge(self, result: TaskResult) -> None:
         """Fold one task's output into the master state."""
         if result.task_id not in self._in_flight:
-            # A result that outraced its worker's death notice: the task
-            # was already requeued, and merging both copies would double-
-            # count — drop the stale one.
+            # A result that outraced its worker's death notice — organic
+            # or a deadline kill: the task was already requeued, and
+            # merging both copies would double-count — drop the stale one.
             return
         worker_id, groups = self._in_flight.pop(result.task_id)
+        self._deadlines.pop(result.task_id, None)
         self._load[worker_id] -= 1
         submitted = self._submit_times.pop(result.task_id, None)
         if submitted is not None:
             sent_at, depth = submitted
             self._observe_rtt(
                 worker_id, (time.monotonic() - sent_at) / max(depth, 1))
+        self.stats.worker_tasks[worker_id] = \
+            self.stats.worker_tasks.get(worker_id, 0) + 1
+        self._absorb(result.out, groups, worker_id)
+
+    def _absorb(self, out: dict, groups, worker_id: int | None) -> None:
+        """Fold one expansion output into the search state — the shared
+        back half of merging, used by pool task results and quarantine
+        sandbox successes alike (``worker_id`` None for the sandbox: its
+        one-shot process has no replay cache to route children back to)."""
         stats = self.stats
-        stats.worker_tasks[worker_id] = \
-            stats.worker_tasks.get(worker_id, 0) + 1
-        out = result.out
         stats.discover_packet_runs += out["discover_packet_runs"]
         stats.discover_stats_runs += out["discover_stats_runs"]
         stats.transitions_executed += out["transitions"]
@@ -577,15 +900,25 @@ class _Scheduler:
         stats.cache_hits += out["cache_hits"]
         stats.cache_misses += out["cache_misses"]
         stats.add_hash_stats(out["hash_stats"])
-        for property_name, message, digest, gi, si, transition in \
-                out["violations"]:
+        for record in out["violations"]:
+            # Plain violations are 6-tuples; contained model exceptions
+            # carry a 7th element, the worker-side traceback.
+            property_name, message, digest, gi, si, transition = record[:6]
             trace = self._node_trace(groups, gi, si)
             if transition is not None:
                 trace = trace + (transition,)
-            stats.violations.append(
-                Violation(property_name, message, trace, digest,
-                          stats.transitions_executed)
-            )
+            if property_name == MODEL_ERROR_PROPERTY and len(record) > 6:
+                stats.model_errors += 1
+                stats.violations.append(
+                    ModelError(property_name, message, trace, digest,
+                               stats.transitions_executed,
+                               details=record[6])
+                )
+            else:
+                stats.violations.append(
+                    Violation(property_name, message, trace, digest,
+                              stats.transitions_executed)
+                )
             if self.config.stop_at_first_violation:
                 stats.terminated = "first_violation"
                 raise _StopSearch()
@@ -607,3 +940,17 @@ class _Scheduler:
                 # its replay LRU — route the children back to it.
                 self._push(worker_id,
                            (self._node_trace(groups, gi, si), fresh))
+
+
+def _describe_exit(exitcode: int | None) -> str:
+    """Human-readable subprocess exit status (signal names included)."""
+    if exitcode is None:
+        return "still running"
+    if exitcode < 0:
+        import signal
+
+        try:
+            return f"killed by {signal.Signals(-exitcode).name}"
+        except ValueError:
+            return f"killed by signal {-exitcode}"
+    return f"exit code {exitcode}"

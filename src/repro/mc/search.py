@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import random
 import time
+import traceback
 from collections import deque
 
 from repro.config import (
@@ -47,7 +48,7 @@ from repro.config import (
     ORDER_DFS,
     ORDER_RANDOM,
 )
-from repro.errors import PropertyViolation, SearchError
+from repro.errors import NiceError, PropertyViolation, SearchError
 from repro.mc import store as store_mod
 from repro.mc import transitions as tk
 from repro.mc.replay import replay_from
@@ -73,6 +74,59 @@ class Violation:
     def __repr__(self):
         return (f"Violation({self.property_name}: {self.message!r},"
                 f" trace length {len(self.trace)})")
+
+
+#: Property name under which contained model exceptions are recorded.
+MODEL_ERROR_PROPERTY = "ModelError"
+
+
+class ModelError(Violation):
+    """An exception that escaped a controller/host handler, recorded as a
+    replayable counterexample (DESIGN.md, "Failure containment").
+
+    The model under test is *expected* to be buggy — that is the point of
+    model checking it — so an unhandled exception in its handlers is
+    evidence about the model, not about the engine.  The trace replays the
+    crash deterministically (``nice.replay`` re-raises the original
+    exception at the final transition); ``details`` carries the formatted
+    traceback from wherever the transition actually executed.  Engine
+    errors (:class:`~repro.errors.NiceError`) are never contained, and
+    ``fail_fast=True`` restores abort-on-exception for model code too."""
+
+    def __init__(self, property_name, message, trace, state_hash,
+                 transitions_at_detection, details: str = ""):
+        super().__init__(property_name, message, trace, state_hash,
+                         transitions_at_detection)
+        self.details = details
+
+    def __repr__(self):
+        return (f"ModelError({self.message!r},"
+                f" trace length {len(self.trace)})")
+
+
+class QuarantinedTask:
+    """Structured diagnostic for a poison sibling group the search gave up
+    executing (DESIGN.md, "Failure containment").
+
+    Recorded when a group implicated in ``max_task_retries`` worker deaths
+    *also* fails in the quarantine sandbox (or quarantine is disabled):
+    the search degrades gracefully — every other branch of the state space
+    is still explored — and this object preserves what was abandoned:
+    the parent ``trace``, the sibling transitions (``siblings`` is None
+    for an initial-state group), how many ``attempts`` were made, and the
+    ``reason`` the last one failed (signal name, exit code, or timeout)."""
+
+    def __init__(self, trace, siblings, attempts: int, reason: str):
+        self.trace = trace
+        self.siblings = siblings
+        self.attempts = attempts
+        self.reason = reason
+
+    def __repr__(self):
+        fanout = len(self.siblings) if self.siblings is not None else 1
+        return (f"QuarantinedTask(trace length {len(self.trace)},"
+                f" {fanout} sibling(s), {self.attempts} attempt(s):"
+                f" {self.reason})")
 
 
 class SearchStats:
@@ -157,6 +211,18 @@ class SearchStats:
         #: Autoscaler (``respawn_workers``): replacements requested for
         #: dead workers.
         self.workers_respawned = 0
+        #: Failure containment (DESIGN.md, "Failure containment").
+        #: ``workers_hung`` counts workers declared hung via the per-task
+        #: deadline; ``deadline_kills`` the kills that followed (they can
+        #: differ if a kill fails); ``tasks_quarantined`` the poison groups
+        #: sent to the sandbox; ``model_errors`` the handler exceptions
+        #: contained as replayable counterexamples (serial and parallel).
+        self.workers_hung = 0
+        self.deadline_kills = 0
+        self.tasks_quarantined = 0
+        self.model_errors = 0
+        #: Poison groups abandoned after the sandbox also failed.
+        self.quarantined_tasks: list[QuarantinedTask] = []
 
     def add_hash_stats(self, snapshot: tuple[int, int, int, int]) -> None:
         """Fold one ``HashStats.snapshot()`` (or a delta) into the totals."""
@@ -216,6 +282,19 @@ class SearchStats:
                 f" {self.elastic_joins} elastic join(s),"
                 f" {self.workers_respawned} respawned"
             ))
+            if self.workers_hung or self.tasks_quarantined:
+                lines.insert(-1, (
+                    f"containment          : {self.workers_hung} worker(s)"
+                    f" hung ({self.deadline_kills} deadline kill(s)),"
+                    f" {self.tasks_quarantined} task(s) quarantined,"
+                    f" {len(self.quarantined_tasks)} abandoned"
+                ))
+        if self.model_errors:
+            lines.insert(-1,
+                         f"model errors         : {self.model_errors}"
+                         f" handler exception(s) contained")
+        for diagnostic in self.quarantined_tasks[:5]:
+            lines.append(f"  - quarantined: {diagnostic!r}")
         for violation in self.violations[:5]:
             lines.append(f"  - {violation.property_name}: {violation.message}")
         return "\n".join(lines)
@@ -332,10 +411,20 @@ class Searcher:
                     continue
                 for transition in enabled:
                     child = system.clone()
-                    child.execute(transition)
-                    strategy.post_execute(child, transition)
-                    result.transitions_executed += 1
                     child_trace = trace + (transition,)
+                    try:
+                        child.execute(transition)
+                        strategy.post_execute(child, transition)
+                    except Exception as exc:
+                        # Engine errors always propagate; model-handler
+                        # exceptions become counterexamples unless
+                        # fail_fast restores abort-on-exception.
+                        if isinstance(exc, NiceError) or self.config.fail_fast:
+                            raise
+                        result.transitions_executed += 1
+                        self._record_model_error(exc, child_trace, result)
+                        continue
+                    result.transitions_executed += 1
                     self._check_properties(child, transition, result, child_trace)
                     if (self.config.max_transitions is not None
                             and result.transitions_executed
@@ -485,6 +574,24 @@ class Searcher:
         result.violations.append(
             Violation(violation.property_name, violation.message, trace,
                       system.state_hash(), result.transitions_executed)
+        )
+        if self.config.stop_at_first_violation:
+            result.terminated = "first_violation"
+            raise _StopSearch()
+
+    def _record_model_error(self, exc: Exception, trace, result) -> None:
+        """Contain an exception that escaped a model handler: record it as
+        a replayable :class:`ModelError` counterexample (the crashed child
+        state is discarded — it is not a state of the model).  The message
+        is ``type: str(exc)`` — identical however the transition executed,
+        so serial and every transport agree on the recorded violation; the
+        engine-specific traceback goes into ``details``."""
+        result.model_errors += 1
+        result.violations.append(
+            ModelError(MODEL_ERROR_PROPERTY,
+                       f"{type(exc).__name__}: {exc}", trace, "",
+                       result.transitions_executed,
+                       details=traceback.format_exc())
         )
         if self.config.stop_at_first_violation:
             result.terminated = "first_violation"

@@ -530,6 +530,25 @@ def _validate(path: Path) -> Checkpoint:
     )
 
 
+def list_checkpoints(directory: str | Path) -> list[Path]:
+    """All checkpoint directories under ``directory``, oldest first."""
+    return sorted(Path(directory).glob(f"{_CKPT_PREFIX}*"))
+
+
+def validate_checkpoint(path: str | Path) -> Checkpoint:
+    """Validate and load one checkpoint directory (manifest format, file
+    sizes, blake2b checksums) — the ``nice checkpoints`` inspector's entry
+    point into the same validator ``nice resume`` trusts.  Raises
+    :class:`CheckpointError` on a torn or corrupt snapshot."""
+    try:
+        return _validate(Path(path))
+    except CheckpointError:
+        raise
+    except (OSError, json.JSONDecodeError, pickle.UnpicklingError,
+            KeyError, EOFError) as exc:
+        raise CheckpointError(f"{Path(path).name}: {exc}") from exc
+
+
 def load_latest_checkpoint(directory: str | Path) -> Checkpoint:
     """The newest checkpoint under ``directory`` that validates.
 

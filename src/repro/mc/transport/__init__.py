@@ -82,9 +82,11 @@ class Transport:
         raises :class:`WorkerLost` if that worker is already dead."""
         raise NotImplementedError
 
-    def recv(self):
+    def recv(self, timeout: float | None = None):
         """Block until any worker yields a TaskResult, WorkerError,
-        WorkerGone, or WorkerJoined."""
+        Heartbeat, WorkerGone, or WorkerJoined.  With ``timeout`` set,
+        return None after that many seconds of silence — the scheduler's
+        deadline checker runs on these timed wakeups."""
         raise NotImplementedError
 
     def stop(self) -> None:
@@ -111,6 +113,13 @@ class Transport:
         as a normal :class:`~repro.mc.wire.WorkerGone` event.
         """
         raise NotImplementedError
+
+    def worker_pid(self, worker_id: int) -> int | None:
+        """The OS pid of a worker, when the transport knows it (local
+        children always; socket workers via their Hello).  Used by the
+        chaos suite to wedge — not kill — a live worker (SIGSTOP), the
+        failure shape hang detection exists for."""
+        return None
 
 
 def _warn(message: str) -> None:

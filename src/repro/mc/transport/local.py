@@ -27,6 +27,7 @@ from __future__ import annotations
 import multiprocessing
 import signal
 import threading
+import time
 from multiprocessing import connection as mp_connection
 
 from repro.mc import worker as worker_mod
@@ -125,10 +126,16 @@ class LocalTransport(Transport):
                              f"process exited with code {process.exitcode}")
         self._task_queues[worker_id].put(task)
 
-    def recv(self):
+    def recv(self, timeout: float | None = None):
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
+            wait_for = 1.0
+            if deadline is not None:
+                wait_for = min(wait_for, deadline - time.monotonic())
+                if wait_for <= 0:
+                    return None
             ready = mp_connection.wait(
-                list(self._result_conns.values()), timeout=1.0)
+                list(self._result_conns.values()), timeout=wait_for)
             if not ready:
                 # EOF normally reports deaths instantly; this poll is a
                 # backstop for a worker wedged without closing its pipe.
@@ -172,6 +179,12 @@ class LocalTransport(Transport):
     def kill_worker(self, worker_id: int) -> None:
         self._processes[worker_id].kill()
 
+    def worker_pid(self, worker_id: int) -> int | None:
+        try:
+            return self._processes[worker_id].pid
+        except IndexError:
+            return None
+
     def stop(self) -> None:
         for queue, process in zip(self._task_queues, self._processes):
             if process.is_alive():
@@ -186,6 +199,12 @@ class LocalTransport(Transport):
                 # pipe once the master stops reading; it holds no state the
                 # master needs, so cut it loose.
                 process.terminate()
+                process.join(timeout=self.JOIN_TIMEOUT)
+            if process.is_alive():
+                # SIGTERM is held pending while a process is stopped
+                # (SIGSTOP — the chaos suite's wedged-worker injection);
+                # only SIGKILL acts on it.  Never leak a wedged child.
+                process.kill()
                 process.join(timeout=self.JOIN_TIMEOUT)
         for queue in self._task_queues:
             queue.close()

@@ -334,8 +334,11 @@ class SocketTransport(Transport):
                 f"connection lost while submitting task {task.task_id}:"
                 f" {exc}") from exc
 
-    def recv(self):
-        result = self._results.get()
+    def recv(self, timeout: float | None = None):
+        try:
+            result = self._results.get(timeout=timeout)
+        except queue.Empty:
+            return None
         if isinstance(result, WorkerError) and result.task_id is None:
             # Startup failure inside the worker runtime: the process is
             # done for, but only the scheduler's policy decides whether
@@ -365,6 +368,12 @@ class SocketTransport(Transport):
             except OSError:
                 pass
             connection.close()
+
+    def worker_pid(self, worker_id: int) -> int | None:
+        host, pid = self._peers.get(worker_id, ("", 0))
+        if pid and host == socket.gethostname():
+            return pid
+        return None
 
     def stop(self) -> None:
         # _stopping and the pool snapshot commute under the lock with
@@ -400,17 +409,40 @@ class SocketTransport(Transport):
         self._stderr_logs.clear()
 
 
-def run_worker(address: str) -> int:
-    """Client side: connect to a master and serve tasks (``nice worker``)."""
+def run_worker(address: str, retries: int = 5,
+               retry_max_wait: float = 30.0) -> int:
+    """Client side: connect to a master and serve tasks (``nice worker``).
+
+    Connection refusals are retried with jittered exponential backoff
+    (``retries`` connection attempts total, each delay doubling from 0.5s
+    and capped at ``retry_max_wait``), so workers can be started *before*
+    the master — the natural order when provisioning a fleet — instead of
+    failing on the first refused connection.  Jitter keeps a batch of
+    workers launched together from stampeding the listener in lockstep."""
+    import random
+    import time
+
     from repro.mc.worker import socket_worker_loop
 
     host, port = parse_address(address)
-    try:
-        connection = socket.create_connection((host, port))
-    except OSError as exc:
-        print(f"nice worker: cannot reach a master at {host}:{port}: {exc}",
-              file=sys.stderr)
-        return 1
+    attempt = 0
+    while True:
+        try:
+            connection = socket.create_connection((host, port))
+            break
+        except OSError as exc:
+            attempt += 1
+            if attempt >= retries:
+                print(f"nice worker: cannot reach a master at {host}:{port}"
+                      f" after {attempt} attempt(s): {exc}",
+                      file=sys.stderr)
+                return 1
+            delay = min(retry_max_wait, 0.5 * (2 ** (attempt - 1)))
+            delay *= 0.5 + random.random() / 2
+            print(f"nice worker: master at {host}:{port} not reachable"
+                  f" ({exc}); retrying in {delay:.1f}s"
+                  f" ({attempt}/{retries})", file=sys.stderr, flush=True)
+            time.sleep(delay)
     with connection:
         socket_worker_loop(connection)
     return 0

@@ -40,7 +40,8 @@ from repro.config import NiceConfig
 #: Bump when the task/result layout changes; Hello carries it so a stale
 #: remote worker fails fast instead of mis-decoding tasks.
 #: v2: Hello carries host/pid (elastic joins + fault-injection hooks).
-PROTOCOL_VERSION = 2
+#: v3: workers emit :class:`Heartbeat` liveness beats on the result channel.
+PROTOCOL_VERSION = 3
 
 _HEADER = struct.Struct("!I")
 
@@ -171,6 +172,20 @@ class WorkerError:
 @dataclass
 class Shutdown:
     """Master -> worker: exit cleanly."""
+
+
+@dataclass
+class Heartbeat:
+    """Worker -> master: periodic liveness beat (protocol v3).
+
+    Sent by a daemon thread every ``heartbeat_interval`` seconds on the
+    same channel as results.  A beat proves the worker *process* is alive
+    and its channel healthy — it does not prove the current task is making
+    progress (a handler spinning in a pure-Python loop still lets the beat
+    thread run), which is why hang detection keys off the per-task
+    deadline, with beat staleness reported as corroborating evidence."""
+
+    worker_id: int
 
 
 @dataclass

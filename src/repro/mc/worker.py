@@ -22,14 +22,19 @@ the master with every result.
 
 from __future__ import annotations
 
+import gc
+import os
+import threading
 import traceback
 from collections import OrderedDict
 
-from repro.errors import PropertyViolation
+from repro.errors import NiceError, PropertyViolation
 from repro.mc.replay import replay_with_spine
+from repro.mc.search import MODEL_ERROR_PROPERTY
 from repro.mc.strategies import make_strategy
 from repro.mc.wire import (
     ExpandTask,
+    Heartbeat,
     Hello,
     InitWorker,
     Shutdown,
@@ -163,8 +168,27 @@ class WorkerRuntime:
                 kids = []
                 for transition in enabled:
                     child = system.clone()
-                    child.execute(transition)
-                    self.strategy.post_execute(child, transition)
+                    try:
+                        child.execute(transition)
+                        self.strategy.post_execute(child, transition)
+                    except Exception as exc:
+                        # Mirror of the serial loop's containment: a model-
+                        # handler exception becomes a ModelError violation
+                        # tuple and the crashed child is discarded.  Engine
+                        # errors (NiceError: replay divergence, transition
+                        # bugs) still escape as WorkerError — fail_fast
+                        # additionally forwards model exceptions there.
+                        if isinstance(exc, NiceError) or config.fail_fast:
+                            raise
+                        out["transitions"] += 1
+                        out["violations"].append(
+                            (MODEL_ERROR_PROPERTY,
+                             f"{type(exc).__name__}: {exc}", "",
+                             gi, si, transition, traceback.format_exc())
+                        )
+                        if config.stop_at_first_violation:
+                            return self._finish(out, stats_sink)
+                        continue
                     out["transitions"] += 1
                     self._check("check", child, gi, si, transition, out)
                     if config.stop_at_first_violation and out["violations"]:
@@ -201,6 +225,57 @@ class WorkerRuntime:
                      system.state_hash(), gi, si, transition)
                 )
 
+    # ------------------------------------------------------------------
+    # Memory watchdog
+    # ------------------------------------------------------------------
+
+    def should_recycle(self, worker_id: int) -> bool:
+        """Memory watchdog (``worker_memory_limit``), called between tasks.
+
+        Over the limit, shed the replay cache first — it is the one
+        unbounded-value structure a worker owns, and losing it only costs
+        restoration replays.  Still over after a collection, ask to be
+        recycled: the caller returns, the channel EOFs, and the master's
+        respawn path replaces the process.  Checked *after* a result is
+        sent, so even a worker whose base RSS exceeds the limit makes
+        forward progress (one task per incarnation)."""
+        limit = self.config.worker_memory_limit
+        if not limit:
+            return False
+        rss = _rss_bytes()
+        if rss is None or rss <= limit:
+            return False
+        import sys
+
+        print(f"search worker {worker_id}: rss {rss} B over"
+              f" worker_memory_limit {limit} B; shedding replay cache"
+              f" ({len(self.cache)} entries)", file=sys.stderr, flush=True)
+        self.cache.clear()
+        gc.collect()
+        rss = _rss_bytes()
+        if rss is None or rss <= limit:
+            return False
+        print(f"search worker {worker_id}: rss {rss} B still over limit;"
+              f" recycling", file=sys.stderr, flush=True)
+        return True
+
+
+def _rss_bytes() -> int | None:
+    """Resident set size of this process, or None if unmeasurable."""
+    try:
+        with open("/proc/self/statm") as statm:
+            pages = int(statm.read().split()[1])
+        return pages * os.sysconf("SC_PAGESIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return kb * 1024  # high-water mark: conservative fallback
+    except Exception:  # noqa: BLE001 - no resource module on this platform
+        return None
+
 
 class _StatsSink:
     """Just the counters ``Searcher._enabled`` increments."""
@@ -208,6 +283,45 @@ class _StatsSink:
     def __init__(self):
         self.discover_packet_runs = 0
         self.discover_stats_runs = 0
+
+
+# ----------------------------------------------------------------------
+# Heartbeats
+# ----------------------------------------------------------------------
+
+class _HeartbeatThread:
+    """Daemon thread beating :class:`~repro.mc.wire.Heartbeat` every
+    ``interval`` seconds through ``send`` (which must serialize against the
+    main loop's result sends).  Because the beat runs on its own thread, a
+    handler spinning in a pure-Python loop still beats (the GIL preempts) —
+    the beat proves the *process* and its channel are alive, while the
+    task deadline catches the stuck task.  It also keeps the master's
+    timed ``recv`` loop fed, so deadline checks fire on schedule."""
+
+    def __init__(self, send, worker_id: int, interval: float):
+        self._send = send
+        self._worker_id = worker_id
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{worker_id}", daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._send(Heartbeat(self._worker_id))
+            except Exception:  # noqa: BLE001 - channel gone: search is over
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def _start_heartbeat(send, worker_id: int, interval: float):
+    if not interval or interval <= 0:
+        return None
+    return _HeartbeatThread(send, worker_id, interval)
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +338,12 @@ def local_worker_main(worker_id: int, task_queue, result_conn, spec) -> None:
     lets the master survive a worker killed mid-write (see
     ``repro/mc/transport/local.py``).
     """
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        with send_lock:
+            result_conn.send(message)
+
     try:
         searcher = (_INHERITED_SEARCHER if spec is None
                     else searcher_from_spec(spec))
@@ -231,22 +351,32 @@ def local_worker_main(worker_id: int, task_queue, result_conn, spec) -> None:
     except Exception:  # noqa: BLE001 - report startup failure to the master
         result_conn.send(WorkerError(None, worker_id, traceback.format_exc()))
         return
-    while True:
-        message = task_queue.get()
-        if message is None or isinstance(message, Shutdown):
-            return
-        try:
-            out = runtime.expand(message.groups)
-            reply = TaskResult(message.task_id, worker_id, out)
-        except Exception:  # noqa: BLE001 - surface the traceback
-            reply = WorkerError(message.task_id, worker_id,
-                                traceback.format_exc())
-        try:
-            result_conn.send(reply)
-        except OSError:
-            # The master stopped reading (early stop, or it gave up on the
-            # pool): its search is over, so are we.
-            return
+    beat = _start_heartbeat(send, worker_id,
+                            runtime.config.heartbeat_interval)
+    try:
+        while True:
+            message = task_queue.get()
+            if message is None or isinstance(message, Shutdown):
+                return
+            try:
+                out = runtime.expand(message.groups)
+                reply = TaskResult(message.task_id, worker_id, out)
+            except Exception:  # noqa: BLE001 - surface the traceback
+                reply = WorkerError(message.task_id, worker_id,
+                                    traceback.format_exc())
+            try:
+                send(reply)
+            except OSError:
+                # The master stopped reading (early stop, or it gave up on
+                # the pool): its search is over, so are we.
+                return
+            if runtime.should_recycle(worker_id):
+                # Exit cleanly; EOF surfaces as WorkerGone and the respawn
+                # path replaces us with a fresh-memory sibling.
+                return
+    finally:
+        if beat is not None:
+            beat.stop()
 
 
 #: Seconds a connecting worker waits for the master's InitWorker reply —
@@ -257,7 +387,6 @@ INIT_TIMEOUT = 30.0
 
 def socket_worker_loop(sock) -> None:
     """Serve one master over a connected socket until Shutdown/EOF."""
-    import os
     import socket as socket_mod
 
     sock.settimeout(INIT_TIMEOUT)
@@ -272,24 +401,94 @@ def socket_worker_loop(sock) -> None:
     except Exception:  # noqa: BLE001 - report startup failure to the master
         send_msg(sock, WorkerError(None, worker_id, traceback.format_exc()))
         return
-    while True:
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        with send_lock:
+            send_msg(sock, message)
+
+    beat = _start_heartbeat(send, worker_id,
+                            runtime.config.heartbeat_interval)
+    try:
+        while True:
+            try:
+                message = recv_msg(sock)
+            except (OSError, ConnectionError):
+                return  # master hung up (early stop) — a clean shutdown
+            if message is None or isinstance(message, Shutdown):
+                return
+            if not isinstance(message, ExpandTask):
+                raise ConnectionError(f"unexpected message {message!r}")
+            try:
+                out = runtime.expand(message.groups)
+                reply = TaskResult(message.task_id, worker_id, out)
+            except Exception:  # noqa: BLE001 - surface the traceback
+                reply = WorkerError(message.task_id, worker_id,
+                                    traceback.format_exc())
+            try:
+                send(reply)
+            except (OSError, ConnectionError):
+                # The master stopped reading mid-task (first violation
+                # found, transition cap hit): its search is over, so are
+                # we.
+                return
+            if runtime.should_recycle(worker_id):
+                # Close the connection; the master sees EOF -> WorkerGone
+                # and respawns (or elastically re-admits) a replacement.
+                return
+    finally:
+        if beat is not None:
+            beat.stop()
+
+
+# ----------------------------------------------------------------------
+# Quarantine sandbox
+# ----------------------------------------------------------------------
+
+def quarantine_worker_main(result_conn, spec, groups, limits: dict) -> None:
+    """One-shot sandboxed expansion of a poison sibling group.
+
+    Runs in a dedicated subprocess with rlimits applied (CPU to contain
+    hangs, address space to contain memory bombs, no core dumps), expands
+    ``groups`` exactly as a pool worker would — so a success merges with
+    bit-identity to serial — and sends a single
+    :class:`~repro.mc.wire.TaskResult` or :class:`~repro.mc.wire.WorkerError`
+    back.  ``spec`` is None when the searcher is inherited by fork."""
+    # Advertise the sandbox to the model under test: the hostile test apps
+    # (repro/apps/hostile.py) read this to behave on the isolated retry,
+    # modelling a task that was poisonous to the fleet but is salvageable.
+    os.environ["NICE_QUARANTINE"] = "1"
+    _apply_rlimits(limits)
+    try:
+        searcher = (_INHERITED_SEARCHER if spec is None
+                    else searcher_from_spec(spec))
+        runtime = WorkerRuntime(searcher)
+        out = runtime.expand(groups)
+        reply = TaskResult(0, -1, out)
+    except Exception:  # noqa: BLE001 - the whole point is to catch anything
+        reply = WorkerError(0, -1, traceback.format_exc())
+    try:
+        result_conn.send(reply)
+    except OSError:
+        pass
+
+
+def _apply_rlimits(limits: dict) -> None:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return
+    for key, which in (("cpu", "RLIMIT_CPU"),
+                       ("address_space", "RLIMIT_AS")):
+        value = limits.get(key)
+        if not value:
+            continue
         try:
-            message = recv_msg(sock)
-        except (OSError, ConnectionError):
-            return  # master hung up (early stop) — a clean shutdown
-        if message is None or isinstance(message, Shutdown):
-            return
-        if not isinstance(message, ExpandTask):
-            raise ConnectionError(f"unexpected message {message!r}")
-        try:
-            out = runtime.expand(message.groups)
-            reply = TaskResult(message.task_id, worker_id, out)
-        except Exception:  # noqa: BLE001 - surface the traceback
-            reply = WorkerError(message.task_id, worker_id,
-                                traceback.format_exc())
-        try:
-            send_msg(sock, reply)
-        except (OSError, ConnectionError):
-            # The master stopped reading mid-task (first violation found,
-            # transition cap hit): its search is over, so are we.
-            return
+            resource.setrlimit(getattr(resource, which),
+                               (int(value), int(value)))
+        except (OSError, ValueError):  # pragma: no cover - host forbids it
+            pass
+    try:
+        resource.setrlimit(resource.RLIMIT_CORE, (0, 0))
+    except (OSError, ValueError):  # pragma: no cover
+        pass

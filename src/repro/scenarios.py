@@ -296,6 +296,65 @@ def pyswitch_loop(app_factory=None,
 
 
 # ----------------------------------------------------------------------
+# Hostile scenarios (failure-containment test family, ISSUE 8)
+# ----------------------------------------------------------------------
+
+
+@registered("hostile")
+def hostile_scenario(mode: str = "benign", arm_file: str | None = None,
+                     pings: int = 1, ballast_mb: int = 64,
+                     spare_quarantine: bool = True,
+                     config: NiceConfig | None = None) -> Scenario:
+    """A ping workload whose controller misbehaves on a poison packet.
+
+    Host A sends one ``poison0``-tagged ping plus ``pings`` ordinary pings
+    to host B through a single :class:`~repro.apps.hostile.HostileApp`
+    switch.  The poison packet's ``packet_in`` misbehaves per ``mode``
+    (raise / hang / crash / oom — see :mod:`repro.apps.hostile`), gated by
+    the ``arm_file`` shot counter so the induced failures are bounded and
+    the armed parallel run stays bit-comparable to a benign serial
+    baseline.  All kwargs are picklable, so the scenario has a portable
+    spec and runs on every transport.
+    """
+    from repro.apps.hostile import POISON, HostileApp
+    from repro.topo.topology import Topology
+
+    topo = Topology()
+    topo.add_switch("s1", [1, 2])
+    topo.add_host("A", MAC_A, IP_A, "s1", 1)
+    topo.add_host("B", MAC_B, IP_B, "s1", 2)
+    if config is None:
+        config = NiceConfig()
+    config = dataclasses.replace(
+        config,
+        use_symbolic_execution=False,
+        max_pkt_sequence=max(config.max_pkt_sequence, 2 * (pings + 1)),
+        max_outstanding=max(config.max_outstanding, pings + 1),
+        stop_at_first_violation=False,
+    )
+
+    def app_factory():
+        return HostileApp(mode=mode, arm_file=arm_file,
+                          ballast_mb=ballast_mb,
+                          spare_quarantine=spare_quarantine)
+
+    def hosts_factory():
+        # The poison ping rides alongside the ordinary ones; the responder
+        # ignores it (no "ping" prefix), so it adds exactly one poisoned
+        # controller handler execution per interleaving, no replies.
+        script = [l2_ping(MAC_A, MAC_B, payload=f"{POISON}0")]
+        script += [l2_ping(MAC_A, MAC_B, payload=f"ping{i}")
+                   for i in range(pings)]
+        client = Client("A", MAC_A, IP_A, script=script,
+                        symbolic_client=False)
+        client.ordered_script = False
+        return [client, PingResponder("B", MAC_B, IP_B)]
+
+    return Scenario(topo, app_factory, hosts_factory, [], config,
+                    name=f"hostile-{mode}")
+
+
+# ----------------------------------------------------------------------
 # Load balancer scenarios (Section 8.2)
 # ----------------------------------------------------------------------
 

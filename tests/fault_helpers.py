@@ -8,6 +8,11 @@ the production path — pipe EOF / socket reset -> ``WorkerGone`` ->
 scheduler requeue — which is exactly what the chaos suite wants to
 exercise; nothing here touches scheduler internals.
 
+:class:`StallTransport` SIGSTOPs (wedges, not kills) a scheduled worker
+instead: the pipes stay open, no EOF fires, and only the scheduler's
+task-deadline machinery can notice — the hang-detection counterpart of
+:class:`ChaosTransport`.
+
 :class:`ElasticJoiner` wraps a :class:`SocketTransport` and, after the
 Nth submission, launches one extra ``nice worker`` aimed at the live
 master, blocking until the elastic accept loop admits it — making
@@ -64,6 +69,37 @@ class ChaosTransport(_TransportWrapper):
         if victim is not None:
             self._inner.kill_worker(victim)
             self.killed.append(victim)
+
+
+class StallTransport(_TransportWrapper):
+    """SIGSTOP (wedge, don't kill) worker K after the Nth submission.
+
+    A stopped process is the purest "hung worker": the OS keeps the pipes
+    open, so no EOF ever fires and only the task-deadline machinery can
+    notice.  The victim is the exact failure shape heartbeats + deadlines
+    exist for, without involving any hostile model code.
+    """
+
+    def __init__(self, inner, schedule: dict[int, int]):
+        super().__init__(inner)
+        self._schedule = dict(schedule)
+        self._submitted = 0
+        #: Victims actually stopped, for test-side assertions.
+        self.stalled: list[int] = []
+
+    def _after_submit(self):
+        import os
+        import signal
+
+        self._submitted += 1
+        victim = self._schedule.pop(self._submitted, None)
+        if victim is None:
+            return
+        pid = self._inner.worker_pid(victim)
+        if pid is None:  # remote worker: cannot wedge, skip this leg
+            return
+        os.kill(pid, signal.SIGSTOP)
+        self.stalled.append(victim)
 
 
 class ElasticJoiner(_TransportWrapper):

@@ -21,7 +21,8 @@ from __future__ import annotations
 import pytest
 
 from contract import counters, requires_fork, violated_properties
-from fault_helpers import ChaosTransport, ElasticJoiner, install
+from fault_helpers import (ChaosTransport, ElasticJoiner, StallTransport,
+                           install)
 from repro import nice, scenarios
 from repro.mc.transport import TransportError
 from repro.scenarios import with_config
@@ -100,6 +101,52 @@ class TestTwoDeaths:
         assert violated_properties(stats) == violated_properties(serial_ping)
         assert stats.worker_failures == 2
         assert stats.worker_tasks[2] > 0
+
+
+def run_with_stall(monkeypatch, scenario, schedule):
+    """Run ``scenario`` with a SIGSTOP schedule; returns (stats, stall)."""
+    wrappers = []
+
+    def wrap(transport):
+        stall = StallTransport(transport, schedule)
+        wrappers.append(stall)
+        return stall
+
+    install(monkeypatch, wrap)
+    stats = nice.run(scenario)
+    assert wrappers, "parallel transport was never created"
+    return stats, wrappers[0]
+
+
+#: Containment knobs for the hang legs: tight deadline, fast beats, and
+#: the autoscaler keeping the pool at strength after the kill.
+HANG_KNOBS = dict(respawn_workers=True, task_deadline=2.0,
+                  heartbeat_interval=0.2)
+
+
+# ----------------------------------------------------------------------
+# Hang detection: a wedged worker is deadline-killed, results exact
+# ----------------------------------------------------------------------
+
+class TestHungWorker:
+    @pytest.mark.parametrize("overrides,engine", ENGINES)
+    def test_stalled_worker_is_deadline_killed(self, overrides, engine,
+                                               serial_ping, monkeypatch):
+        """SIGSTOP — not SIGKILL — a worker mid-search: its pipes stay
+        open, so only the task-deadline machinery can notice.  The master
+        must declare it hung, kill it, requeue its work, and finish
+        bit-identical to serial."""
+        stats, stall = run_with_stall(
+            monkeypatch,
+            exhaustive_ping(workers=2, **HANG_KNOBS, **overrides), {5: 0})
+        assert stall.stalled == [0]
+        assert stats.engine == engine
+        assert counters(stats) == counters(serial_ping)
+        assert violated_properties(stats) == violated_properties(serial_ping)
+        assert stats.workers_hung == 1
+        assert stats.deadline_kills == 1
+        assert stats.worker_failures == 1
+        assert stats.tasks_retried >= 1
 
 
 # ----------------------------------------------------------------------
@@ -261,6 +308,26 @@ class TestRegisteredScenarioChaosMatrix:
         assert counters(chaotic) == counters(serial), \
             f"scenario {name} diverged from serial under {schedule}"
         assert violated_properties(chaotic) == violated_properties(serial)
+
+    @pytest.mark.parametrize("name", BOUNDED_SCENARIOS)
+    def test_bit_identical_under_a_hang(self, name, monkeypatch):
+        """The hang-schedule leg: wedge (SIGSTOP) a worker instead of
+        killing it.  Scenarios too small to reach the stall point simply
+        run unwedged — the equality assertion is the contract either way."""
+        tight = dict(CHAOS_KNOBS, max_pkt_sequence=1, max_outstanding=1)
+        serial = nice.run(with_config(scenarios.REGISTRY[name](), **tight))
+        hung, stall = run_with_stall(
+            monkeypatch,
+            with_config(scenarios.REGISTRY[name](), workers=2,
+                        **HANG_KNOBS, **tight),
+            {4: 0})
+        assert counters(hung) == counters(serial), \
+            f"scenario {name} diverged from serial under a hang"
+        assert violated_properties(hung) == violated_properties(serial)
+        # A victim wedged while idle may never receive another task on a
+        # tiny space; when it did hold work, the deadline must have fired.
+        assert hung.workers_hung <= len(stall.stalled)
+        assert hung.deadline_kills == hung.workers_hung
 
     def test_pyswitch_loop_first_violation_survives_a_death(
             self, monkeypatch):
