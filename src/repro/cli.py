@@ -177,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=NiceConfig.store_memory_budget, metavar="N",
                        help="sharded store: digests kept resident in memory "
                             "(the rest spill to disk)")
+    run_p.add_argument("--store-bloom-bits", type=int,
+                       default=NiceConfig.store_bloom_bits, metavar="N",
+                       help="sharded store: per-shard Bloom filter size in "
+                            "bits (rounded up to a power of two; 0 disables)")
     run_p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                        help="periodically snapshot the master state "
                             "(explored set, frontier, stats, config) into "
@@ -292,6 +296,7 @@ def make_config(args) -> NiceConfig:
         store=args.store,
         store_shards=args.store_shards,
         store_memory_budget=args.store_memory_budget,
+        store_bloom_bits=args.store_bloom_bits,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
     )
@@ -376,8 +381,10 @@ def _report(result, args, scenario_name: str, strategy: str) -> int:
             "store_hits": result.store_hits,
             "store_spill_reads": result.store_spill_reads,
             "store_evictions": result.store_evictions,
+            "store_bloom_negatives": result.store_bloom_negatives,
             "checkpoints_written": result.checkpoints_written,
             "checkpoint_seconds": result.checkpoint_seconds,
+            "checkpoint_bytes_written": result.checkpoint_bytes_written,
             "resumed_from": result.resumed_from,
             "violations": [
                 {"property": v.property_name, "message": v.message,
@@ -464,6 +471,11 @@ def cmd_checkpoints(args) -> int:
             "frontier": len(checkpoint.frontier),
             "transitions": checkpoint.stats.get("transitions_executed"),
             "violations": len(checkpoint.stats.get("violations", [])),
+            "format": checkpoint.format,
+            # Bytes this snapshot actually wrote (hard-linked segments
+            # excluded) — "delta" snapshots show a small number here even
+            # for a large explored set.  None for format-1 snapshots.
+            "bytes_written": checkpoint.bytes_written,
         })
         newest_valid = path.name
     if args.json:
@@ -475,11 +487,15 @@ def cmd_checkpoints(args) -> int:
             print(f"no checkpoints under {args.checkpoint_dir}")
         for entry in report:
             if entry["valid"]:
+                written = entry["bytes_written"]
+                delta = ("" if written is None
+                         else f" written={written}B (delta)")
                 print(f"{entry['name']}: ok  scenario={entry['scenario']}"
                       f" states={entry['states']}"
                       f" frontier={entry['frontier']}"
                       f" transitions={entry['transitions']}"
-                      f" violations={entry['violations']}")
+                      f" violations={entry['violations']}"
+                      f" format={entry['format']}{delta}")
             else:
                 print(f"{entry['name']}: INVALID ({entry['error']})")
         if newest_valid is not None:

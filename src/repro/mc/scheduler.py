@@ -227,6 +227,7 @@ class _Scheduler:
         stats.engine = self.transport.name
         stats.workers = self.transport.workers
         resume = searcher._resume
+        baseline = None
         start = time.perf_counter()
         initial = searcher.system_factory()
         for prop in searcher.properties:
@@ -247,7 +248,10 @@ class _Scheduler:
             self._push(None, ((), None))
         else:
             resume.restore_stats(stats)
-            self._explored.preload(resume.iter_digests())
+            # Preload the explored set (with the checkpoint's Bloom
+            # summaries when compatible); a layout-compatible checkpoint
+            # becomes the baseline the next snapshot hard-links from.
+            baseline = store_mod.restore_store(self._explored, resume)
             if resume.rng_state is not None:
                 searcher._rng.setstate(resume.rng_state)
             # The old owners' replay caches died with the previous run:
@@ -255,7 +259,8 @@ class _Scheduler:
             for group in resume.frontier:
                 self._push(None, group)
         checkpointer = store_mod.Checkpointer(
-            self.config, searcher.scenario_spec, self._explored, stats)
+            self.config, searcher.scenario_spec, self._explored, stats,
+            previous=baseline)
         checkpointer.install()
         # start() is inside the try: a transport that fails to come up
         # (accept deadline, dead spawn) must still have stop() run so no
@@ -927,19 +932,31 @@ class _Scheduler:
                 >= self.config.max_transitions):
             stats.terminated = "max_transitions"
             raise _StopSearch()
-        for gi, si, kids in out["children"]:
-            fresh = []
-            for transition, digest in kids:
-                if self.config.state_matching:
-                    if not self._explored.add(digest):
+        children = out["children"]
+        if self.config.state_matching and children:
+            # One batched store append per merged task result; add_batch
+            # preserves order (and in-batch duplicate semantics), so the
+            # frontier matches what per-child adds would have built.
+            flags = iter(self._explored.add_batch(
+                [digest for _, _, kids in children for _, digest in kids]))
+            for gi, si, kids in children:
+                fresh = []
+                for transition, _ in kids:
+                    if next(flags):
+                        fresh.append(transition)
+                    else:
                         stats.revisited_states += 1
-                        continue
-                fresh.append(transition)
-            if fresh:
-                # The worker that expanded this node holds its trace in
-                # its replay LRU — route the children back to it.
-                self._push(worker_id,
-                           (self._node_trace(groups, gi, si), fresh))
+                if fresh:
+                    # The worker that expanded this node holds its trace
+                    # in its replay LRU — route the children back to it.
+                    self._push(worker_id,
+                               (self._node_trace(groups, gi, si), fresh))
+        else:
+            for gi, si, kids in children:
+                if kids:
+                    self._push(worker_id,
+                               (self._node_trace(groups, gi, si),
+                                [transition for transition, _ in kids]))
 
 
 def _describe_exit(exitcode: int | None) -> str:

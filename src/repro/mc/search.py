@@ -203,10 +203,16 @@ class SearchStats:
         self.store_hits = 0
         self.store_spill_reads = 0
         self.store_evictions = 0
+        #: Lookups the sharded store's per-shard Bloom filters answered
+        #: (definite negatives that skipped the index/disk probe).
+        self.store_bloom_negatives = 0
         #: Master checkpointing: snapshots written (and the wall time they
-        #: took), and — on a resumed run — the checkpoint it started from.
+        #: took), bytes actually written (hard-linked segments excluded —
+        #: the incremental-snapshot savings), and — on a resumed run — the
+        #: checkpoint the run started from.
         self.checkpoints_written = 0
         self.checkpoint_seconds = 0.0
+        self.checkpoint_bytes_written = 0
         self.resumed_from: str | None = None
         #: Autoscaler (``respawn_workers``): replacements requested for
         #: dead workers.
@@ -258,14 +264,16 @@ class SearchStats:
                 f"state store          : {self.store},"
                 f" {self.store_hits} memory hit(s),"
                 f" {self.store_spill_reads} spill read(s),"
-                f" {self.store_evictions} eviction(s)"
+                f" {self.store_evictions} eviction(s),"
+                f" {self.store_bloom_negatives} bloom negative(s)"
             ))
         if self.resumed_from:
             lines.insert(-1, f"resumed from         : {self.resumed_from}")
         if self.checkpoints_written:
             lines.insert(-1, (
                 f"checkpoints          : {self.checkpoints_written}"
-                f" written ({self.checkpoint_seconds:.2f}s)"
+                f" written ({self.checkpoint_seconds:.2f}s,"
+                f" {self.checkpoint_bytes_written} B)"
             ))
         if self.workers:
             lines.insert(-1, (
@@ -368,9 +376,14 @@ class Searcher:
         # random order needs positional pops, so it keeps a plain list.
         frontier_type = (list if self.config.search_order == ORDER_RANDOM
                          else deque)
+        baseline = None
         if resume is not None:
             resume.restore_stats(result)
-            explored.preload(resume.iter_digests())
+            # Preload the explored set (with the checkpoint's Bloom
+            # summaries when compatible); when the checkpoint's record
+            # layout matches the store's, its path becomes the baseline
+            # the next snapshot hard-links unchanged segments from.
+            baseline = store_mod.restore_store(explored, resume)
             if resume.rng_state is not None:
                 self._rng.setstate(resume.rng_state)
             # Restored nodes carry no live system — they are rebuilt by
@@ -383,7 +396,8 @@ class Searcher:
                 [(None if self._trace_checkpoints else initial, ())]
             )
         checkpointer = store_mod.Checkpointer(
-            self.config, self.scenario_spec, explored, result)
+            self.config, self.scenario_spec, explored, result,
+            previous=baseline)
         checkpointer.install()
         try:
             while frontier:
@@ -409,36 +423,45 @@ class Searcher:
                 if (self.config.max_depth is not None
                         and len(trace) >= self.config.max_depth):
                     continue
-                for transition in enabled:
-                    child = system.clone()
-                    child_trace = trace + (transition,)
-                    try:
-                        child.execute(transition)
-                        strategy.post_execute(child, transition)
-                    except Exception as exc:
-                        # Engine errors always propagate; model-handler
-                        # exceptions become counterexamples unless
-                        # fail_fast restores abort-on-exception.
-                        if isinstance(exc, NiceError) or self.config.fail_fast:
-                            raise
-                        result.transitions_executed += 1
-                        self._record_model_error(exc, child_trace, result)
-                        continue
-                    result.transitions_executed += 1
-                    self._check_properties(child, transition, result, child_trace)
-                    if (self.config.max_transitions is not None
-                            and result.transitions_executed
-                            >= self.config.max_transitions):
-                        result.terminated = "max_transitions"
-                        raise _StopSearch()
-                    if self.config.state_matching:
-                        if not explored.add(child.state_hash()):
-                            result.revisited_states += 1
+                # One expansion = one batched store append: children are
+                # collected (digests computed at the same per-child point
+                # as before) and committed through add_batch in a finally,
+                # so the children executed before a mid-expansion stop
+                # still land exactly as per-child adds did.
+                batch: list = []
+                try:
+                    for transition in enabled:
+                        child = system.clone()
+                        child_trace = trace + (transition,)
+                        try:
+                            child.execute(transition)
+                            strategy.post_execute(child, transition)
+                        except Exception as exc:
+                            # Engine errors always propagate; model-handler
+                            # exceptions become counterexamples unless
+                            # fail_fast restores abort-on-exception.
+                            if isinstance(exc, NiceError) \
+                                    or self.config.fail_fast:
+                                raise
+                            result.transitions_executed += 1
+                            self._record_model_error(exc, child_trace, result)
                             continue
-                    frontier.append(
-                        (None if self._trace_checkpoints else child,
-                         child_trace)
-                    )
+                        result.transitions_executed += 1
+                        self._check_properties(child, transition, result,
+                                               child_trace)
+                        if (self.config.max_transitions is not None
+                                and result.transitions_executed
+                                >= self.config.max_transitions):
+                            result.terminated = "max_transitions"
+                            raise _StopSearch()
+                        batch.append(
+                            (None if self._trace_checkpoints else child,
+                             child_trace,
+                             child.state_hash()
+                             if self.config.state_matching else None)
+                        )
+                finally:
+                    self._commit_batch(batch, explored, frontier, result)
         except _StopSearch:
             pass
         finally:
@@ -451,6 +474,25 @@ class Searcher:
         # the shared HashStats object holds the whole run's counters.
         result.add_hash_stats(initial._hash_stats.snapshot())
         return result
+
+    def _commit_batch(self, batch, explored, frontier, result) -> None:
+        """Deduplicate one expansion's children against the explored set
+        as a single batched append; frontier order and revisit counts are
+        identical to the per-child form (add_batch preserves order and
+        in-batch duplicate semantics)."""
+        if not batch:
+            return
+        if not self.config.state_matching:
+            for node, child_trace, _ in batch:
+                frontier.append((node, child_trace))
+            return
+        for new, (node, child_trace, _) in zip(
+                explored.add_batch([digest for _, _, digest in batch]),
+                batch):
+            if new:
+                frontier.append((node, child_trace))
+            else:
+                result.revisited_states += 1
 
     @staticmethod
     def _resume_nodes(groups):

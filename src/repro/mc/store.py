@@ -6,12 +6,21 @@ Two concerns the search engines delegate here:
 * **Membership storage** for the explored state set.  :class:`MemoryStore`
   is the plain in-memory set the engines always had (default — zero
   regression).  :class:`ShardedStore` shards digests by prefix into
-  append-only files of fixed-width hash records, keeps a compact
+  append-only files of fixed-width packed records, keeps a compact
   in-memory index (one small int per digest, ever) plus an LRU-bounded
   *resident* set, and spills cold digests to disk — the explored set of a
   NICE-style exhaustive search then scales past one process's RAM while
   the hot working set stays dictionary-fast.  Both expose one API:
-  ``add(digest) -> bool`` (False = already present), ``in``, ``len``.
+  ``add(digest) -> bool`` (False = already present), ``add_batch``,
+  ``in``, ``len``.
+
+  The sharded fast path (record format v2): hex digests are packed to
+  raw bytes (16 B for the engines' 32-char hashes — half the ASCII
+  footprint), appends land in a per-shard tail buffer flushed in 64 KiB
+  runs instead of one ``write()`` per state, and a per-shard Bloom
+  filter answers definite-negative membership before the index or the
+  disk probe is consulted.  A Bloom positive falls through to the exact
+  probe, so false positives cost time, never correctness.
 
 * **Checkpointing** the master's irreplaceable state.  A checkpoint is a
   directory ``ckpt-NNNNNNNN/`` holding the store's record files, a pickled
@@ -27,6 +36,17 @@ Two concerns the search engines delegate here:
   ``(parent trace, [transition, ...] | None)`` sibling groups — the wire
   format of :class:`~repro.mc.wire.ExpandTask` — which is why a search
   checkpointed serially can resume on any transport and vice versa.
+
+  Shard files are append-only, so snapshots are **incremental**: record
+  files in a checkpoint are immutable *segments*; a shard unchanged since
+  the previous snapshot is hard-linked (same inode, zero bytes copied)
+  and a grown shard links its old segments and writes only the byte
+  range appended since — snapshot cost is O(new states), not O(all
+  states).  Bloom bitsets ride along as ``bloom-NNNN.bin`` summary files
+  (linked too while their shard is unchanged) so resume loads them
+  instead of recomputing from a full scan.  Format-1 checkpoints (ASCII
+  records, no summaries) still load; the first snapshot a resumed run
+  writes is a full format-2 one.
 """
 
 from __future__ import annotations
@@ -42,20 +62,44 @@ import tempfile
 import threading
 import time
 import warnings
-import zlib
-from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.config import STORE_MEMORY, STORE_SHARDED
 
-#: Bump when the checkpoint layout changes; resume refuses a mismatch.
-CHECKPOINT_FORMAT = 1
+#: Bump when the checkpoint layout changes.  Format 2 packs hex digests
+#: to raw bytes, names record files as per-shard segments, and adds
+#: Bloom summary files; the loader still accepts format-1 snapshots.
+CHECKPOINT_FORMAT = 2
+
+#: Formats :func:`load_latest_checkpoint` accepts.
+_READABLE_FORMATS = (1, CHECKPOINT_FORMAT)
 
 #: Complete checkpoints kept per directory.  Two, not one: torn-write
 #: recovery needs the previous snapshot to still exist when the newest
 #: turns out to be corrupt.
 CHECKPOINT_KEEP = 2
+
+#: Record encodings.  ``hex``: the digest string is lowercase hex and is
+#: stored packed (`bytes.fromhex`), record width = len(digest) / 2.
+#: ``ascii``: the digest is stored as its ASCII bytes verbatim (format-1
+#: behaviour, and the fallback for non-hex digests).
+RECORD_HEX = "hex"
+RECORD_ASCII = "ascii"
+
+#: Default per-shard Bloom filter size in bits (128 KiB of bitset per
+#: shard); 0 disables the filter.  Mirrored by NiceConfig.store_bloom_bits.
+DEFAULT_BLOOM_BITS = 1 << 20
+
+#: A shard's tail buffer is appended to its record file once it reaches
+#: this many bytes (and always at flush/snapshot time).
+_FLUSH_BYTES = 1 << 16
+
+#: Pre-bound for the insert/lookup hot paths — skips the global + attr
+#: lookup per call.
+_from_bytes = int.from_bytes
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
 
 _CKPT_PREFIX = "ckpt-"
 _TMP_PREFIX = "tmp-ckpt-"
@@ -65,6 +109,24 @@ _META = "meta.pkl"
 
 class CheckpointError(RuntimeError):
     """No usable checkpoint could be written or loaded."""
+
+
+def _is_hex(digest: str) -> bool:
+    return (bool(digest) and len(digest) % 2 == 0
+            and not set(digest) - _HEX_DIGITS)
+
+
+def _encode_digest(digest: str, encoding: str) -> bytes | None:
+    """``digest`` as a packed record, or None if it doesn't fit
+    ``encoding`` (non-hex under RECORD_HEX, non-ASCII under RECORD_ASCII)."""
+    if encoding == RECORD_HEX:
+        if not _is_hex(digest):
+            return None
+        return bytes.fromhex(digest)
+    try:
+        return digest.encode("ascii")
+    except UnicodeEncodeError:
+        return None
 
 
 # ----------------------------------------------------------------------
@@ -81,6 +143,20 @@ class StateStore:
         """Record ``digest``; False means it was already present."""
         raise NotImplementedError
 
+    def add_batch(self, digests) -> list[bool]:
+        """Record a batch of digests; one bool per digest, in order
+        (False = already present).
+
+        Deliberately routed through ``self.add`` for every store: the
+        crash-recovery harness plants kill points by monkeypatching
+        ``add`` on the store *instance*, and batching must not tunnel
+        past that seam.  Stores that buffer writes (ShardedStore)
+        amortise the I/O inside ``add`` itself, so this loop stays one
+        dict probe per digest.
+        """
+        add = self.add
+        return [add(digest) for digest in digests]
+
     def __contains__(self, digest: str) -> bool:
         raise NotImplementedError
 
@@ -93,12 +169,19 @@ class StateStore:
 
     def counters(self) -> dict:
         """Spill/hit counters: ``hits`` (lookups answered from memory),
-        ``spill_reads`` (lookups that had to read a shard file), and
-        ``evictions`` (digests spilled out of the resident set)."""
-        return {"hits": 0, "spill_reads": 0, "evictions": 0}
+        ``spill_reads`` (lookups that had to read shard records),
+        ``evictions`` (digests spilled out of the resident set) and
+        ``bloom_negatives`` (lookups the Bloom filter answered)."""
+        return {"hits": 0, "spill_reads": 0, "evictions": 0,
+                "bloom_negatives": 0}
 
-    def preload(self, digests) -> None:
-        """Bulk-load digests (checkpoint resume) without counter noise."""
+    def preload(self, digests, summaries=None) -> None:
+        """Bulk-load digests (checkpoint resume) without counter noise.
+
+        ``summaries`` is an optional ``[(shard, path), ...]`` list of
+        Bloom bitset files from the checkpoint being resumed; stores
+        without shard summaries ignore it.
+        """
         for digest in digests:
             self.add(digest)
         self.reset_counters()
@@ -106,13 +189,35 @@ class StateStore:
     def reset_counters(self) -> None:
         pass
 
-    def snapshot_into(self, directory: Path) -> list[str]:
+    def snapshot_into(self, directory: Path, previous: Path | None = None):
         """Write the store's contents as fixed-width record files into
-        ``directory``; returns the file names written."""
+        ``directory``; returns ``(record_names, summary_names, carried)``
+        where ``carried`` maps file names that were hard-linked from the
+        ``previous`` checkpoint directory to their known manifest info
+        (``{"bytes": ..., "blake2b": ...}``) so the writer can skip
+        re-hashing them."""
         raise NotImplementedError
+
+    def note_snapshot(self, files_info: dict) -> None:
+        """Called after a snapshot *committed* (renamed into place);
+        ``files_info`` is the manifest's per-file info.  Stores that
+        track segments promote the pending snapshot layout to the
+        committed baseline here."""
+
+    def adopt_baseline(self, checkpoint: "Checkpoint") -> bool:
+        """Adopt ``checkpoint``'s record files as this store's committed
+        segment baseline (so the next snapshot links instead of
+        rewriting).  Returns False when the layouts are incompatible —
+        the next snapshot is then a full rewrite, which is always
+        correct."""
+        return False
 
     def record_width(self) -> int:
         """Bytes per record (0 while empty)."""
+        raise NotImplementedError
+
+    def record_encoding(self) -> str:
+        """How records map back to digest strings (RECORD_HEX/ASCII)."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -150,47 +255,82 @@ class MemoryStore(StateStore):
         return iter(self._digests)
 
     def counters(self) -> dict:
-        return {"hits": self._hits, "spill_reads": 0, "evictions": 0}
+        return {"hits": self._hits, "spill_reads": 0, "evictions": 0,
+                "bloom_negatives": 0}
 
     def reset_counters(self) -> None:
         self._hits = 0
 
+    def record_encoding(self) -> str:
+        for digest in self._digests:
+            return RECORD_HEX if _is_hex(digest) else RECORD_ASCII
+        return RECORD_ASCII
+
     def record_width(self) -> int:
         for digest in self._digests:
+            if _is_hex(digest):
+                return len(digest) // 2
             return len(digest.encode("ascii"))
         return 0
 
-    def snapshot_into(self, directory: Path) -> list[str]:
+    def snapshot_into(self, directory: Path, previous: Path | None = None):
         name = "states-0000.bin"
+        encoding = self.record_encoding()
+        width = self.record_width()
+        buffer = bytearray()
         with open(directory / name, "wb") as handle:
             for digest in self._digests:
-                handle.write(digest.encode("ascii"))
-        return [name]
+                record = _encode_digest(digest, encoding)
+                if record is None or len(record) != width:
+                    # Mis-sliced records would corrupt every digest after
+                    # the first odd one out on resume — refuse now.
+                    raise ValueError(
+                        f"digest width changed mid-run: {digest!r} does "
+                        f"not pack to {width} {encoding} bytes (mixed "
+                        f"hash modes in one store?)")
+                buffer += record
+                if len(buffer) >= (1 << 20):
+                    handle.write(buffer)
+                    buffer.clear()
+            handle.write(buffer)
+        return [name], [], {}
 
 
 class ShardedStore(StateStore):
     """Digest-prefix shards, append-only record files, LRU resident set.
 
-    Layout per shard ``i``: an append-only file of fixed-width ASCII
-    digest records (record ``n`` lives at byte ``n * width``) plus an
-    in-memory index mapping a 48-bit digest prefix to the slot(s) holding
-    it.  Membership: the LRU *resident* dict answers hot lookups from
-    memory; a prefix absent from the index is a definitive (memory-only)
-    miss; a prefix hit outside the resident set seeks the shard file and
-    compares full records — the spill path.  Inserts append one record
-    and one index entry; when the resident set exceeds ``memory_budget``
-    digests the oldest entries spill (the index entry — one small int —
-    is all that remains in memory).
+    Layout per shard ``i``: an append-only file of fixed-width packed
+    records (record ``n`` lives at byte ``n * width``) behind an
+    in-memory tail buffer, plus an in-memory index mapping a 48-bit
+    digest prefix to the slot(s) holding it, plus a Bloom bitset over
+    the shard's *flushed* (on-disk) records.  Membership: the LRU
+    *resident* dict answers hot lookups from memory; a prefix absent
+    from the (exact) index is a definitive memory-only miss; otherwise
+    the candidate slots are compared against the tail buffer or the
+    shard file — and before any disk read the Bloom bitset gets a say:
+    a definite negative skips the file probe entirely.  Inserts append
+    one record to the tail buffer (flushed to the file in 64 KiB runs)
+    and one index entry; when the resident set exceeds
+    ``memory_budget`` digests the oldest entries spill (the index entry
+    — one small int — is all that remains in memory).
+
+    Bloom maintenance is deferred to flush time — bits are set in one
+    batched pass over each 64 KiB run as it goes to disk, LSM-style
+    (build the summary when the data becomes immutable), which keeps
+    the add() hot path free of per-record bitset arithmetic.
     """
 
     kind = STORE_SHARDED
 
     def __init__(self, shards: int = 16, memory_budget: int = 1_000_000,
-                 directory: str | None = None):
+                 directory: str | None = None,
+                 bloom_bits: int = DEFAULT_BLOOM_BITS):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if memory_budget < 1:
             raise ValueError("memory_budget must be >= 1")
+        if bloom_bits < 0:
+            raise ValueError("bloom_bits must be >= 0")
         self.shards = shards
         self.memory_budget = memory_budget
         self._owns_dir = directory is None
@@ -205,142 +345,492 @@ class ShardedStore(StateStore):
         #: on the rare prefix collision).
         self._index: list[dict[int, int | tuple]] = [{} for _ in range(shards)]
         self._slots = [0] * shards
-        #: Records appended since the shard file was last flushed.
-        self._unflushed = [0] * shards
-        self._resident: OrderedDict[str, None] = OrderedDict()
+        #: Bytes flushed to each shard file (always a record multiple).
+        self._flushed = [0] * shards
+        #: Records appended but not yet written to the shard file.
+        self._tails = [bytearray() for _ in range(shards)]
+        #: LRU resident set: a plain (insertion-ordered) dict — cheaper
+        #: per insert than OrderedDict on the hot path; touches re-insert.
+        self._resident: dict[str, None] = {}
         self._count = 0
         self._width = 0
+        self._encoding: str | None = None
+        # -1 until hex encoding is chosen: ``len(digest)`` can never be
+        # negative, so add()'s single-comparison fast-path check stays
+        # false both before init and in ascii mode.
+        self._hexlen = -1
+        if bloom_bits:
+            # Power-of-two sizing keeps the probe a mask, not a modulo.
+            m = 1 << max(3, (bloom_bits - 1).bit_length())
+            self.bloom_bits = m
+            self._bloom_mask = m - 1
+            self._bloom: list[bytearray] | None = [
+                bytearray(m >> 3) for _ in range(shards)]
+        else:
+            self.bloom_bits = 0
+            self._bloom_mask = 0
+            self._bloom = None
+        #: True while preload() replays a checkpoint whose Bloom
+        #: summaries were loaded verbatim — flushes skip rebuilding bits
+        #: the summary already holds.
+        self._bloom_precovered = False
         self._hits = 0
         self._spill_reads = 0
         self._evictions = 0
+        self._bloom_negatives = 0
+        #: Committed snapshot baseline, per shard: [(name, bytes, info)]
+        #: segment lists matching the previous successful checkpoint.
+        self._segments: list[list] = [[] for _ in range(shards)]
+        self._snap_slots = [0] * shards
+        #: Manifest info for committed Bloom files, by file name.
+        self._bloom_info: dict[str, dict] = {}
+        self._pending_segments: list[list] | None = None
+        self._pending_bloom: list[str] = []
 
     @staticmethod
     def _shard_name(index: int) -> str:
         return f"states-{index:04d}.bin"
 
-    @staticmethod
-    def _prefix(digest: str) -> int:
-        try:
-            return int(digest[:12], 16)
-        except ValueError:
-            # Non-hex digests: any stable 32-bit hash keeps the index
-            # compact and the shard choice deterministic.
-            return zlib.crc32(digest.encode("utf-8", "surrogateescape"))
+    def _init_encoding(self, digest: str) -> None:
+        if _is_hex(digest):
+            self._encoding = RECORD_HEX
+            self._hexlen = len(digest)
+            self._width = len(digest) // 2
+        else:
+            self._encoding = RECORD_ASCII
+            self._width = len(digest.encode("ascii"))
 
-    def _shard_of(self, prefix: int) -> int:
-        return prefix % self.shards
+    def _pack(self, digest: str) -> bytes:
+        """``digest`` as this store's packed record; raises the
+        mixed-hash-modes ValueError on any width/encoding mismatch —
+        from lookups as well as inserts (a silent False here would let
+        one run mix digest schemes and corrupt dedup).  Hex-mode records
+        canonicalize to lowercase (``bytes.fromhex`` is case-blind)."""
+        if self._encoding is None:
+            self._init_encoding(digest)
+        if self._encoding == RECORD_HEX:
+            if len(digest) == self._hexlen:
+                try:
+                    return bytes.fromhex(digest)
+                except ValueError:
+                    pass
+        else:
+            try:
+                record = digest.encode("ascii")
+            except UnicodeEncodeError:
+                record = None
+            if record is not None and len(record) == self._width:
+                return record
+        raise ValueError(
+            f"digest width changed mid-run: {digest!r} does not pack to "
+            f"{self._width} {self._encoding} bytes (mixed hash modes in "
+            f"one store?)")
 
-    def _probe_disk(self, shard: int, slots, record: bytes) -> bool:
-        """Compare ``record`` against the candidate slots on disk."""
+    def _bloom_may_hold(self, shard: int, record: bytes) -> bool:
+        """False means ``record`` is definitely not among the shard's
+        flushed records (the bitset covers exactly those).  Positions
+        come from record bytes the index prefix does not use, so a
+        prefix collision still gets a real second opinion; k=2 probes
+        via double hashing."""
+        bloom = self._bloom
+        if bloom is None:
+            return True
+        bits = bloom[shard]
+        mask = self._bloom_mask
+        b = _from_bytes(record[6:14], "little")
+        b1 = b & mask
+        b2 = (b >> 32) & mask
+        return bool((bits[b1 >> 3] >> (b1 & 7)) & 1
+                    and (bits[b2 >> 3] >> (b2 & 7)) & 1)
+
+    def _probe_records(self, shard: int, slots, record: bytes) -> bool:
+        """Compare ``record`` against the candidate slots — in the tail
+        buffer when the slot hasn't been flushed yet, else on disk.
+        Disk probes cost a seek+read, so the shard's Bloom bitset is
+        consulted once before the first one: a definite negative skips
+        every flushed slot (tail slots are still compared — they live
+        in memory and the bitset does not cover them)."""
+        width = self._width
+        flushed = self._flushed[shard]
+        tail = self._tails[shard]
         handle = self._files[shard]
-        if self._unflushed[shard]:
-            handle.flush()
-            self._unflushed[shard] = 0
+        disk_ok = None
         for slot in slots if isinstance(slots, tuple) else (slots,):
-            self._spill_reads += 1
-            handle.seek(slot * self._width)
-            if handle.read(self._width) == record:
-                return True
+            offset = slot * width
+            if offset >= flushed:
+                self._spill_reads += 1
+                start = offset - flushed
+                if bytes(tail[start:start + width]) == record:
+                    return True
+            else:
+                if disk_ok is None:
+                    disk_ok = self._bloom_may_hold(shard, record)
+                    if not disk_ok:
+                        self._bloom_negatives += 1
+                if disk_ok:
+                    self._spill_reads += 1
+                    handle.seek(offset)
+                    if handle.read(width) == record:
+                        return True
         return False
 
     def _touch(self, digest: str) -> None:
-        """Enter ``digest`` into the resident LRU, spilling the coldest."""
-        self._resident[digest] = None
-        self._resident.move_to_end(digest)
-        while len(self._resident) > self.memory_budget:
-            self._resident.popitem(last=False)
+        """Enter ``digest`` into the resident LRU, spilling the coldest.
+        Re-inserting moves an existing key to the back of the (insertion-
+        ordered) dict, so eviction order is least-recently-touched."""
+        resident = self._resident
+        resident.pop(digest, None)
+        resident[digest] = None
+        while len(resident) > self.memory_budget:
+            del resident[next(iter(resident))]
             self._evictions += 1
 
     def __contains__(self, digest: str) -> bool:
-        if digest in self._resident:
+        resident = self._resident
+        if digest in resident:
             self._hits += 1
-            self._resident.move_to_end(digest)
+            del resident[digest]
+            resident[digest] = None
             return True
         if not self._count:
             return False
-        prefix = self._prefix(digest)
-        slots = self._index[self._shard_of(prefix)].get(prefix)
+        record = self._pack(digest)
+        # Small-int prefix (first six record bytes) — bigint arithmetic
+        # on the full record is 2-3x the cost per operation.
+        prefix = _from_bytes(record[:6], "little")
+        shard = prefix % self.shards
+        slots = self._index[shard].get(prefix)
         if slots is None:
             return False
-        record = digest.encode("ascii")
-        if len(record) != self._width:
-            return False
-        if self._probe_disk(self._shard_of(prefix), slots, record):
+        if self._probe_records(shard, slots, record):
             self._touch(digest)
             return True
         return False
 
     def add(self, digest: str) -> bool:
-        if digest in self:
+        resident = self._resident
+        if digest in resident:
+            self._hits += 1
+            del resident[digest]
+            resident[digest] = None
             return False
-        record = digest.encode("ascii")
-        if self._width == 0:
-            self._width = len(record)
-        elif len(record) != self._width:
-            raise ValueError(
-                f"digest width changed mid-run: {len(record)} != "
-                f"{self._width} bytes (mixed hash modes in one store?)")
-        prefix = self._prefix(digest)
-        shard = self._shard_of(prefix)
-        handle = self._files[shard]
-        handle.seek(0, io.SEEK_END)
-        handle.write(record)
-        self._unflushed[shard] += 1
-        slot = self._slots[shard]
-        self._slots[shard] = slot + 1
-        index = self._index[shard]
-        held = index.get(prefix)
-        if held is None:
-            index[prefix] = slot
-        elif isinstance(held, tuple):
-            index[prefix] = held + (slot,)
+        # Inlined hex fast path of _pack (this is *the* hot loop of an
+        # exhaustive search); everything else falls into _pack, which
+        # also performs first-digest encoding setup and error reporting.
+        if len(digest) == self._hexlen:
+            try:
+                record = bytes.fromhex(digest)
+            except ValueError:
+                record = self._pack(digest)
         else:
-            index[prefix] = (held, slot)
+            record = self._pack(digest)
+        prefix = _from_bytes(record[:6], "little")
+        shard = prefix % self.shards
+        slot = self._slots[shard]
+        # setdefault folds the common miss-then-insert pair into one
+        # dict op.  Identity is sound: it returns the exact object we
+        # passed iff it inserted, and any pre-existing entry holds a
+        # strictly smaller slot (or a tuple), never this one.
+        held = self._index[shard].setdefault(prefix, slot)
+        if held is not slot:
+            if self._probe_records(shard, held, record):
+                self._touch(digest)
+                return False
+            self._index[shard][prefix] = held + (slot,) \
+                if isinstance(held, tuple) else (held, slot)
+        tail = self._tails[shard]
+        tail += record
+        self._slots[shard] = slot + 1
         self._count += 1
-        self._touch(digest)
+        resident[digest] = None
+        if len(resident) > self.memory_budget:
+            del resident[next(iter(resident))]
+            self._evictions += 1
+        if len(tail) >= _FLUSH_BYTES:
+            self._flush_shard(shard)
         return True
 
     def __len__(self) -> int:
         return self._count
 
+    def _flush_shard(self, shard: int) -> None:
+        tail = self._tails[shard]
+        if not tail:
+            return
+        bloom = self._bloom
+        if bloom is not None and not self._bloom_precovered:
+            # Deferred Bloom maintenance: the bitset covers exactly the
+            # flushed records, so the per-record arithmetic runs here in
+            # one batched pass over the outgoing run — never on add().
+            bits = bloom[shard]
+            mask = self._bloom_mask
+            width = self._width
+            hi = min(width, 14)
+            view = bytes(tail)
+            for start in range(0, len(view), width):
+                b = _from_bytes(view[start + 6:start + hi], "little")
+                b1 = b & mask
+                b2 = (b >> 32) & mask
+                bits[b1 >> 3] |= 1 << (b1 & 7)
+                bits[b2 >> 3] |= 1 << (b2 & 7)
+        handle = self._files[shard]
+        handle.seek(0, io.SEEK_END)
+        handle.write(tail)
+        self._flushed[shard] += len(tail)
+        self._tails[shard] = bytearray()
+
     def flush(self) -> None:
-        for shard, handle in enumerate(self._files):
-            if self._unflushed[shard]:
-                handle.flush()
-                self._unflushed[shard] = 0
+        """Append every shard's tail buffer to its record file."""
+        for shard in range(self.shards):
+            if self._tails[shard]:
+                self._flush_shard(shard)
 
     def digests(self):
-        self.flush()
-        for shard, handle in enumerate(self._files):
-            if not self._slots[shard]:
-                continue
+        width = self._width
+        if not width:
+            return
+        # Chunked, record-aligned reads: iterating the store must not
+        # buffer a whole shard file — for the explored sets this store
+        # exists for, that file can approach the RAM being avoided.
+        chunk_size = max(1, (1 << 20) // width) * width
+        hexed = self._encoding == RECORD_HEX
+        for shard in range(self.shards):
+            handle = self._files[shard]
             handle.seek(0)
-            data = handle.read(self._slots[shard] * self._width)
-            for offset in range(0, len(data), self._width):
-                yield data[offset:offset + self._width].decode("ascii")
+            remaining = self._flushed[shard]
+            while remaining:
+                data = handle.read(min(chunk_size, remaining))
+                if not data:
+                    break
+                remaining -= len(data)
+                for offset in range(0, len(data), width):
+                    record = data[offset:offset + width]
+                    yield record.hex() if hexed else record.decode("ascii")
+            tail = bytes(self._tails[shard])
+            for offset in range(0, len(tail), width):
+                record = tail[offset:offset + width]
+                yield record.hex() if hexed else record.decode("ascii")
 
     def counters(self) -> dict:
         return {"hits": self._hits, "spill_reads": self._spill_reads,
-                "evictions": self._evictions}
+                "evictions": self._evictions,
+                "bloom_negatives": self._bloom_negatives}
 
     def reset_counters(self) -> None:
         self._hits = self._spill_reads = self._evictions = 0
+        self._bloom_negatives = 0
+
+    def preload(self, digests, summaries=None) -> None:
+        if summaries is not None and self._bloom is not None:
+            loaded = [bytearray(self.bloom_bits >> 3)
+                      for _ in range(self.shards)]
+            usable = True
+            for shard, path in summaries:
+                try:
+                    data = Path(path).read_bytes()
+                except OSError:
+                    usable = False
+                    break
+                if shard >= self.shards or len(data) != len(loaded[shard]):
+                    usable = False
+                    break
+                loaded[shard] = bytearray(data)
+            if usable:
+                # The shipped summaries cover every checkpointed record,
+                # so the replay below skips rebuilding bits at flush
+                # time — the point of serializing them.
+                self._bloom = loaded
+                self._bloom_precovered = True
+        try:
+            for digest in digests:
+                self.add(digest)
+            if self._bloom_precovered:
+                self.flush()
+        finally:
+            self._bloom_precovered = False
+        self.reset_counters()
 
     def record_width(self) -> int:
         return self._width
 
-    def snapshot_into(self, directory: Path) -> list[str]:
+    def record_encoding(self) -> str:
+        return self._encoding or RECORD_ASCII
+
+    # -- snapshots ------------------------------------------------------
+
+    @staticmethod
+    def _segment_name(shard: int, segment: int) -> str:
+        return f"states-{shard:04d}-{segment:04d}.bin"
+
+    @staticmethod
+    def _bloom_name(shard: int) -> str:
+        return f"bloom-{shard:04d}.bin"
+
+    def _copy_range(self, shard: int, start: int, end: int,
+                    dest: Path) -> None:
+        handle = self._files[shard]
+        handle.seek(start)
+        remaining = end - start
+        with open(dest, "wb") as out:
+            while remaining:
+                data = handle.read(min(1 << 20, remaining))
+                if not data:
+                    raise CheckpointError(
+                        f"shard {shard} truncated during snapshot")
+                out.write(data)
+                remaining -= len(data)
+
+    def snapshot_into(self, directory: Path, previous: Path | None = None):
         self.flush()
-        names = []
+        directory = Path(directory)
+        record_names: list[str] = []
+        summary_names: list[str] = []
+        carried: dict[str, dict] = {}
+        pending: list[list] = [[] for _ in range(self.shards)]
+        pending_bloom: list[str] = []
         for shard in range(self.shards):
-            if not self._slots[shard]:
+            size = self._flushed[shard]
+            if not size:
                 continue
-            name = self._shard_name(shard)
-            shutil.copyfile(self.directory / name, directory / name)
-            names.append(name)
-        return names
+            committed = self._segments[shard]
+            base = sum(nbytes for _, nbytes, _ in committed)
+            reused: list = []
+            if previous is not None and committed and base <= size and \
+                    all(info is not None for _, _, info in committed):
+                try:
+                    for name, nbytes, info in committed:
+                        os.link(previous / name, directory / name)
+                        reused.append((name, nbytes, info))
+                except OSError:
+                    # Cross-device / platform without links / pruned
+                    # source: fall back to a full rewrite of this shard.
+                    for name, _, _ in reused:
+                        try:
+                            (directory / name).unlink()
+                        except OSError:
+                            pass
+                    reused = []
+            if not reused:
+                base = 0
+            segments = list(reused)
+            if size > base:
+                seg_name = self._segment_name(shard, len(segments))
+                self._copy_range(shard, base, size, directory / seg_name)
+                segments.append((seg_name, size - base, None))
+            pending[shard] = segments
+            for name, _, info in segments:
+                record_names.append(name)
+                if info is not None:
+                    carried[name] = info
+            if self._bloom is not None:
+                bloom_name = self._bloom_name(shard)
+                info = self._bloom_info.get(bloom_name)
+                linked = False
+                if previous is not None and info is not None and \
+                        self._slots[shard] == self._snap_slots[shard]:
+                    try:
+                        os.link(previous / bloom_name, directory / bloom_name)
+                        carried[bloom_name] = info
+                        linked = True
+                    except OSError:
+                        try:
+                            (directory / bloom_name).unlink()
+                        except OSError:
+                            pass
+                if not linked:
+                    (directory / bloom_name).write_bytes(
+                        bytes(self._bloom[shard]))
+                summary_names.append(bloom_name)
+                pending_bloom.append(bloom_name)
+        self._pending_segments = pending
+        self._pending_bloom = pending_bloom
+        return record_names, summary_names, carried
+
+    def note_snapshot(self, files_info: dict) -> None:
+        pending = self._pending_segments
+        if pending is None:
+            return
+        self._segments = [
+            [(name, nbytes, info if info is not None
+              else files_info.get(name))
+             for name, nbytes, info in segments]
+            for segments in pending
+        ]
+        self._snap_slots = list(self._slots)
+        self._bloom_info = {
+            name: files_info[name]
+            for name in self._pending_bloom if name in files_info
+        }
+        self._pending_segments = None
+        self._pending_bloom = []
+
+    @staticmethod
+    def _parse_record_name(name: str):
+        """``states-SSSS[-NNNN].bin`` -> (shard, segment) or None."""
+        if not name.startswith("states-") or not name.endswith(".bin"):
+            return None
+        parts = name[len("states-"):-len(".bin")].split("-")
+        if len(parts) not in (1, 2):
+            return None
+        try:
+            shard = int(parts[0])
+            segment = int(parts[1]) if len(parts) == 2 else 0
+        except ValueError:
+            return None
+        return shard, segment
+
+    @staticmethod
+    def _parse_bloom_name(name: str):
+        if not name.startswith("bloom-") or not name.endswith(".bin"):
+            return None
+        try:
+            return int(name[len("bloom-"):-len(".bin")])
+        except ValueError:
+            return None
+
+    def adopt_baseline(self, checkpoint: "Checkpoint") -> bool:
+        if not self._count or checkpoint.record_encoding != self._encoding \
+                or checkpoint.record_width != self._width:
+            return False
+        self.flush()
+        grouped: dict[int, list] = {}
+        for path in checkpoint.record_files:
+            parsed = self._parse_record_name(path.name)
+            info = checkpoint.file_info.get(path.name)
+            if parsed is None or info is None or parsed[0] >= self.shards:
+                return False
+            grouped.setdefault(parsed[0], []).append(
+                (parsed[1], path.name, info))
+        segments: list[list] = [[] for _ in range(self.shards)]
+        sizes = [0] * self.shards
+        for shard, entries in grouped.items():
+            entries.sort()
+            for _, name, info in entries:
+                segments[shard].append((name, info["bytes"], info))
+                sizes[shard] += info["bytes"]
+        # The preloaded store must hold byte-for-byte what the segments
+        # hold (same shard assignment, same per-shard order) for linking
+        # to be sound; the cheap proxy is an exact per-shard byte match.
+        if sizes != self._flushed:
+            return False
+        self._segments = segments
+        self._snap_slots = list(self._slots)
+        self._bloom_info = {}
+        if self._bloom is not None:
+            for path in checkpoint.summary_files:
+                shard = self._parse_bloom_name(path.name)
+                info = checkpoint.file_info.get(path.name)
+                if shard is None or shard >= self.shards or info is None:
+                    continue
+                if info["bytes"] == len(self._bloom[shard]):
+                    self._bloom_info[path.name] = info
+        return True
 
     def close(self) -> None:
+        try:
+            self.flush()
+        except (OSError, ValueError):
+            pass
         for handle in self._files:
             try:
                 handle.close()
@@ -358,7 +848,10 @@ def create_store(config) -> StateStore:
     module (``store_mod.create_store``) at run time, not import time.
     """
     if config.store == STORE_SHARDED:
-        return ShardedStore(config.store_shards, config.store_memory_budget)
+        return ShardedStore(
+            config.store_shards, config.store_memory_budget,
+            bloom_bits=getattr(config, "store_bloom_bits",
+                               DEFAULT_BLOOM_BITS))
     return MemoryStore()
 
 
@@ -385,11 +878,17 @@ class Checkpoint:
     states: int             # digest count across the record files
     record_width: int
     record_files: list[Path]
+    record_encoding: str = RECORD_ASCII
+    summary_files: list[Path] = field(default_factory=list)
+    file_info: dict = field(default_factory=dict)
+    format: int = 1
+    bytes_written: int | None = None
 
     def iter_digests(self):
         width = self.record_width
         if not width:
             return  # a checkpoint of an empty store holds no records
+        hexed = self.record_encoding == RECORD_HEX
         # Chunked, record-aligned reads: resume must not buffer a whole
         # record file — for the explored sets the sharded store exists
         # for, that file can approach the RAM the store is avoiding.
@@ -401,7 +900,9 @@ class Checkpoint:
                     if not data:
                         break
                     for offset in range(0, len(data), width):
-                        yield data[offset:offset + width].decode("ascii")
+                        record = data[offset:offset + width]
+                        yield record.hex() if hexed \
+                            else record.decode("ascii")
 
     def restore_stats(self, stats) -> None:
         """Seed a fresh SearchStats with the checkpointed counters."""
@@ -410,6 +911,43 @@ class Checkpoint:
                 continue
             setattr(stats, key, value)
         stats.resumed_from = str(self.path)
+
+
+def restore_store(store: StateStore, checkpoint: Checkpoint):
+    """Rebuild ``store`` from ``checkpoint``: preload every digest (with
+    the checkpoint's Bloom summaries when they fit this store's shape)
+    and adopt the checkpoint's record files as the compaction baseline.
+    Returns the baseline path for the next snapshot to hard-link from,
+    or None when the layouts are incompatible (full rewrite instead)."""
+    store.preload(checkpoint.iter_digests(),
+                  summaries=_compatible_summaries(store, checkpoint))
+    if store.adopt_baseline(checkpoint):
+        return checkpoint.path
+    return None
+
+
+def _compatible_summaries(store: StateStore, checkpoint: Checkpoint):
+    """The checkpoint's ``(shard, path)`` Bloom files, iff they describe
+    this store's exact shard layout and bitset size — a bitset for a
+    different sharding would answer false negatives, which (unlike false
+    positives) would corrupt dedup."""
+    if not checkpoint.summary_files or not isinstance(store, ShardedStore):
+        return None
+    if store._bloom is None:
+        return None
+    if getattr(checkpoint.config, "store_shards", None) != store.shards:
+        return None
+    expected = store.bloom_bits >> 3
+    pairs = []
+    for path in checkpoint.summary_files:
+        shard = ShardedStore._parse_bloom_name(path.name)
+        info = checkpoint.file_info.get(path.name)
+        if shard is None or shard >= store.shards or info is None:
+            return None
+        if info["bytes"] != expected:
+            return None
+        pairs.append((shard, path))
+    return pairs
 
 
 def _file_digest(path: Path) -> str:
@@ -442,9 +980,14 @@ def _next_sequence(directory: Path) -> int:
 
 
 def write_checkpoint(directory: str | Path, *, spec, config, stats,
-                     frontier, rng_state, store: StateStore) -> Path:
+                     frontier, rng_state, store: StateStore,
+                     previous: str | Path | None = None) -> Path:
     """Atomically snapshot one consistent master state; returns the new
-    checkpoint's path.  See the module docstring for the protocol."""
+    checkpoint's path.  ``previous`` is the last committed checkpoint of
+    this same store, if any — unchanged record segments and Bloom files
+    are hard-linked from it instead of rewritten, which is what makes
+    snapshot cost O(new states).  See the module docstring for the
+    atomicity protocol."""
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
     sequence = _next_sequence(root)
@@ -454,7 +997,8 @@ def write_checkpoint(directory: str | Path, *, spec, config, stats,
         shutil.rmtree(staging)
     staging.mkdir()
     try:
-        record_files = store.snapshot_into(staging)
+        record_files, summary_files, carried = store.snapshot_into(
+            staging, previous=Path(previous) if previous else None)
         meta = {
             "spec": spec,
             "config": config,
@@ -465,15 +1009,23 @@ def write_checkpoint(directory: str | Path, *, spec, config, stats,
         with open(staging / _META, "wb") as handle:
             pickle.dump(meta, handle, protocol=pickle.HIGHEST_PROTOCOL)
         files = {}
-        for file_name in [*record_files, _META]:
-            path = staging / file_name
-            files[file_name] = {"bytes": path.stat().st_size,
-                                "blake2b": _file_digest(path)}
+        bytes_written = 0
+        for file_name in [*record_files, *summary_files, _META]:
+            info = carried.get(file_name)
+            if info is None:
+                path = staging / file_name
+                info = {"bytes": path.stat().st_size,
+                        "blake2b": _file_digest(path)}
+                bytes_written += info["bytes"]
+            files[file_name] = info
         manifest = {
             "format": CHECKPOINT_FORMAT,
             "states": len(store),
             "record_width": store.record_width(),
+            "record_encoding": store.record_encoding(),
             "record_files": record_files,
+            "summary_files": summary_files,
+            "bytes_written": bytes_written,
             "store": store.kind,
             "files": files,
         }
@@ -481,6 +1033,8 @@ def write_checkpoint(directory: str | Path, *, spec, config, stats,
         # point leaves a manifest-less temp directory resume ignores.
         (staging / _MANIFEST).write_text(json.dumps(manifest, indent=1))
         for file_name in [*files, _MANIFEST]:
+            if file_name in carried:
+                continue  # hard-linked: already durable in the previous
             with open(staging / file_name, "rb") as handle:
                 os.fsync(handle.fileno())
     except BaseException:
@@ -488,6 +1042,7 @@ def write_checkpoint(directory: str | Path, *, spec, config, stats,
         raise
     os.rename(staging, root / name)
     _fsync_dir(root)
+    store.note_snapshot(files)
     _prune(root)
     return root / name
 
@@ -500,10 +1055,10 @@ def _prune(root: Path) -> None:
 
 def _validate(path: Path) -> Checkpoint:
     manifest = json.loads((path / _MANIFEST).read_text())
-    if manifest.get("format") != CHECKPOINT_FORMAT:
+    if manifest.get("format") not in _READABLE_FORMATS:
         raise CheckpointError(
             f"{path.name}: checkpoint format {manifest.get('format')!r} "
-            f"!= {CHECKPOINT_FORMAT}")
+            f"not in {_READABLE_FORMATS}")
     for file_name, expected in manifest["files"].items():
         target = path / file_name
         if not target.is_file():
@@ -527,6 +1082,13 @@ def _validate(path: Path) -> Checkpoint:
         states=manifest["states"],
         record_width=manifest["record_width"],
         record_files=[path / name for name in manifest["record_files"]],
+        # Format-1 snapshots predate packing, summaries and compaction.
+        record_encoding=manifest.get("record_encoding", RECORD_ASCII),
+        summary_files=[path / name
+                       for name in manifest.get("summary_files", [])],
+        file_info=manifest["files"],
+        format=manifest["format"],
+        bytes_written=manifest.get("bytes_written"),
     )
 
 
@@ -589,9 +1151,14 @@ class Checkpointer:
     serially, after draining in-flight tasks in the scheduler).
     ``install()``/``restore()`` bracket the run so the previous SIGTERM
     handler (coverage.py installs one, for instance) is always put back.
+
+    ``previous`` seeds the incremental-snapshot chain: the checkpoint a
+    resumed run loaded from (when its layout was adopted), then always
+    the last snapshot this run wrote.
     """
 
-    def __init__(self, config, spec, store: StateStore, stats):
+    def __init__(self, config, spec, store: StateStore, stats,
+                 previous: str | Path | None = None):
         self.config = config
         self.spec = spec
         self.store = store
@@ -600,12 +1167,14 @@ class Checkpointer:
         self.sigterm = False
         self._last_progress = self._progress()
         self._previous_handler = None
+        self._previous = Path(previous) if previous else None
         # Store counters are deltas since this run's store came up; a
         # resumed SearchStats already carries the previous legs' totals,
         # so sync() adds the live deltas onto that base (absolute set —
         # safe to call any number of times).
         self._counter_base = (stats.store_hits, stats.store_spill_reads,
-                              stats.store_evictions)
+                              stats.store_evictions,
+                              stats.store_bloom_negatives)
         stats.store = store.kind
         if self.enabled and spec is None:
             warnings.warn(
@@ -638,6 +1207,8 @@ class Checkpointer:
             self._counter_base[1] + counters["spill_reads"]
         self.stats.store_evictions = \
             self._counter_base[2] + counters["evictions"]
+        self.stats.store_bloom_negatives = \
+            self._counter_base[3] + counters.get("bloom_negatives", 0)
 
     def _progress(self) -> int:
         """What ``checkpoint_interval`` counts: newly explored states —
@@ -664,10 +1235,25 @@ class Checkpointer:
         # Counted before the write so the snapshot includes itself — a
         # resumed run then reports every checkpoint its lineage wrote.
         self.stats.checkpoints_written += 1
-        path = write_checkpoint(
-            self.config.checkpoint_dir, spec=self.spec, config=self.config,
-            stats=self.stats, frontier=frontier_groups, rng_state=rng_state,
-            store=self.store)
+        try:
+            path = write_checkpoint(
+                self.config.checkpoint_dir, spec=self.spec,
+                config=self.config, stats=self.stats,
+                frontier=frontier_groups, rng_state=rng_state,
+                store=self.store, previous=self._previous)
+        except BaseException:
+            # A failed snapshot must not inflate the counter: the next
+            # successful snapshot would bake the phantom write into its
+            # meta and every resumed descendant would inherit it.
+            self.stats.checkpoints_written -= 1
+            raise
+        self._previous = path
+        try:
+            manifest = json.loads((path / _MANIFEST).read_text())
+            self.stats.checkpoint_bytes_written += \
+                int(manifest.get("bytes_written") or 0)
+        except (OSError, ValueError):
+            pass
         self.stats.checkpoint_seconds += time.perf_counter() - start
         self._last_progress = self._progress()
         return path

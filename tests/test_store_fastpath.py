@@ -1,0 +1,417 @@
+"""Store fast path (ISSUE 9): batched appends, per-shard Bloom filters,
+packed v2 records, and O(new-states) checkpoint compaction.
+
+Unit coverage for the machinery the differential/crash suites exercise
+end-to-end: add_batch semantics and the flush-on-checkpoint ordering of
+the tail buffers, Bloom negative gating of disk probes (and false
+positives falling through to the exact probe), the mixed-hash-mode
+guard on lookups as well as inserts, hard-link compaction across
+snapshot generations (including survival of retention pruning), the
+format-1 -> format-2 migration path, and the Checkpointer's counter
+rollback when a snapshot fails mid-write.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+
+import pytest
+
+from checkpoint_helpers import Interrupted, crash_run, interrupt_after
+from contract import counters, violated_properties
+from repro import nice, scenarios
+from repro.config import NiceConfig
+from repro.mc import store as store_mod
+from repro.mc.search import SearchStats
+from repro.mc.store import (
+    Checkpointer,
+    MemoryStore,
+    ShardedStore,
+    load_latest_checkpoint,
+    restore_store,
+    validate_checkpoint,
+    write_checkpoint,
+)
+from repro.scenarios import with_config
+
+KNOBS = dict(stop_at_first_violation=False, batch_groups=1, batch_nodes=1,
+             adaptive_batching=False)
+
+WIDTH = 16  # packed md5 record bytes
+
+
+def _hex(i: int) -> str:
+    return hashlib.md5(str(i).encode()).hexdigest()
+
+
+def _digests(n: int) -> list[str]:
+    return [_hex(i) for i in range(n)]
+
+
+def _shard0_digest(i: int, shards: int = 4) -> str:
+    """A digest whose first six record bytes are zero — always shard 0,
+    whatever the shard count."""
+    return "000000000000" + _hex(i)[:20]
+
+
+def _ping(**overrides):
+    return with_config(scenarios.ping_experiment(pings=2),
+                       **{**KNOBS, **overrides})
+
+
+@pytest.fixture(scope="module")
+def serial_ping():
+    return nice.run(_ping())
+
+
+def assert_matches_serial(stats, serial_ping):
+    assert counters(stats) == counters(serial_ping)
+    assert violated_properties(stats) == violated_properties(serial_ping)
+
+
+# ----------------------------------------------------------------------
+# Batched appends
+# ----------------------------------------------------------------------
+
+class TestAddBatch:
+    def test_flags_are_per_digest_in_order(self, tmp_path):
+        store = ShardedStore(shards=2, directory=str(tmp_path / "s"))
+        a, b = _hex(1), _hex(2)
+        assert store.add_batch([a, b, a, b, _hex(3)]) == \
+            [True, True, False, False, True]
+        assert len(store) == 3
+        store.close()
+
+    def test_batch_routes_through_instance_add(self, tmp_path):
+        """The crash harness monkeypatches ``add`` on the instance;
+        batching must not tunnel past that seam."""
+        store = ShardedStore(shards=2, directory=str(tmp_path / "s"))
+        seen = []
+        real_add = store.add
+        store.add = lambda digest: (seen.append(digest), real_add(digest))[1]
+        store.add_batch(_digests(5))
+        assert seen == _digests(5)
+        store.close()
+
+    def test_tails_buffer_until_checkpoint_flushes(self, tmp_path):
+        """Appends land in tail buffers (one write per 64 KiB run, not
+        per state); a snapshot flushes every tail first, so the
+        checkpoint holds all records including the buffered ones."""
+        store = ShardedStore(shards=4, directory=str(tmp_path / "s"))
+        store.add_batch(_digests(50))
+        assert sum(store._flushed) == 0  # nothing hit disk yet
+        write_checkpoint(tmp_path / "c", spec=None,
+                         config=NiceConfig(checkpoint_dir=str(tmp_path)),
+                         stats=SearchStats(), frontier=[], rng_state=None,
+                         store=store)
+        assert sum(store._flushed) == 50 * WIDTH
+        loaded = load_latest_checkpoint(tmp_path / "c")
+        assert sorted(loaded.iter_digests()) == sorted(_digests(50))
+        assert loaded.record_width == WIDTH
+        assert loaded.record_encoding == store_mod.RECORD_HEX
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Bloom filters
+# ----------------------------------------------------------------------
+
+class TestBloom:
+    def test_negative_gates_the_disk_probe(self, tmp_path):
+        store = ShardedStore(shards=2, memory_budget=1,
+                             directory=str(tmp_path / "s"))
+        held = _shard0_digest(1)
+        store.add(held)
+        store.add(_hex(2))  # evicts `held` from the resident set
+        store.flush()       # `held` now lives on disk only
+        probes_before = store.counters()["spill_reads"]
+        # Same 48-bit prefix, different record: the index alone cannot
+        # answer, but the Bloom bitset can — definitely not flushed.
+        absent = _shard0_digest(99)
+        assert absent not in store
+        assert store.counters()["bloom_negatives"] == 1
+        assert store.counters()["spill_reads"] == probes_before
+        # A true hit passes the filter and reads the record back.
+        assert held in store
+        assert store.counters()["spill_reads"] > probes_before
+        store.close()
+
+    def test_false_positive_falls_through_to_exact_probe(self, tmp_path):
+        """A saturated one-byte bitset answers 'maybe' for everything;
+        membership must stay exact regardless."""
+        store = ShardedStore(shards=2, memory_budget=5, bloom_bits=8,
+                             directory=str(tmp_path / "s"))
+        batch = _digests(100)
+        for digest in batch:
+            store.add(digest)
+        store.flush()
+        assert all(digest in store for digest in batch)
+        for digest in batch[:20]:  # present prefix, absent record
+            assert digest[:12] + "f" * 20 not in store
+        assert "f" * 32 not in store
+        store.close()
+
+    def test_disabled_bloom_still_exact(self, tmp_path):
+        store = ShardedStore(shards=2, memory_budget=5, bloom_bits=0,
+                             directory=str(tmp_path / "s"))
+        for digest in _digests(100):
+            store.add(digest)
+        store.flush()
+        assert all(digest in store for digest in _digests(100))
+        assert "f" * 32 not in store
+        assert store.counters()["bloom_negatives"] == 0
+        store.close()
+
+    def test_bits_cover_exactly_the_flushed_records(self, tmp_path):
+        """Deferred maintenance: bits are set when a tail run goes to
+        disk, so a record still in the tail gets no bits — and its
+        probes stay in memory."""
+        store = ShardedStore(shards=1, directory=str(tmp_path / "s"))
+        store.add(_hex(1))
+        assert not any(store._bloom[0])  # nothing flushed, no bits
+        store.flush()
+        assert any(store._bloom[0])
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Mixed hash modes (satellite: lookups must be as strict as inserts)
+# ----------------------------------------------------------------------
+
+class TestMixedWidthGuard:
+    def test_lookup_raises_like_add(self, tmp_path):
+        store = ShardedStore(directory=str(tmp_path / "s"))
+        store.add("a" * 32)
+        with pytest.raises(ValueError, match="digest width"):
+            store.add("b" * 64)
+        with pytest.raises(ValueError, match="digest width"):
+            "b" * 64 in store
+        store.close()
+
+    def test_memory_store_snapshot_rejects_mixed_widths(self, tmp_path):
+        store = MemoryStore()
+        store.add("a" * 32)
+        store.add("b" * 64)  # the plain set cannot police this on add
+        with pytest.raises(ValueError, match="digest width"):
+            store.snapshot_into(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Hard-link compaction
+# ----------------------------------------------------------------------
+
+class TestCompaction:
+    def _write(self, root, store, previous=None):
+        return write_checkpoint(
+            root, spec=None, config=NiceConfig(checkpoint_dir=str(root)),
+            stats=SearchStats(), frontier=[], rng_state=None,
+            store=store, previous=previous)
+
+    def test_unchanged_shards_are_linked_grown_shards_append(self, tmp_path):
+        store = ShardedStore(shards=4, memory_budget=16, bloom_bits=1 << 10,
+                             directory=str(tmp_path / "s"))
+        store.add_batch(_digests(200))
+        first = self._write(tmp_path / "c", store)
+        full_bytes = validate_checkpoint(first).bytes_written
+        # Grow shard 0 only; shards 1-3 must ride along untouched.
+        extra = [_shard0_digest(i) for i in range(10)]
+        store.add_batch(extra)
+        second = self._write(tmp_path / "c", store, previous=first)
+        for name in os.listdir(first):
+            if name.startswith("states-") and not name.startswith(
+                    "states-0000"):
+                assert (second / name).stat().st_ino == \
+                    (first / name).stat().st_ino
+        delta = second / "states-0000-0001.bin"
+        assert delta.stat().st_size == len(extra) * WIDTH
+        assert (second / "states-0000-0000.bin").stat().st_ino == \
+            (first / "states-0000-0000.bin").stat().st_ino
+        # O(new states): the second snapshot writes exactly the grown
+        # shard's delta segment + its rewritten Bloom bitset + the meta
+        # blob — every other byte is a hard link.
+        loaded_second = validate_checkpoint(second)
+        meta_bytes = loaded_second.file_info["meta.pkl"]["bytes"]
+        bloom0_bytes = (second / "bloom-0000.bin").stat().st_size
+        assert loaded_second.bytes_written == \
+            meta_bytes + delta.stat().st_size + bloom0_bytes
+        assert loaded_second.bytes_written < full_bytes
+        loaded = load_latest_checkpoint(tmp_path / "c")
+        assert sorted(loaded.iter_digests()) == sorted(_digests(200) + extra)
+        store.close()
+
+    def test_links_survive_retention_pruning(self, tmp_path):
+        """CHECKPOINT_KEEP drops the snapshot a segment was first
+        written into; the hard link keeps the inode alive and the
+        newest snapshot keeps validating (checksums included)."""
+        store = ShardedStore(shards=2, bloom_bits=1 << 10,
+                             directory=str(tmp_path / "s"))
+        store.add_batch(_digests(100))
+        previous = self._write(tmp_path / "c", store)
+        for start in (100, 110, 120):  # two prunes of the chain's head
+            store.add_batch([_hex(i) for i in range(start, start + 10)])
+            previous = self._write(tmp_path / "c", store, previous=previous)
+        snapshots = sorted((tmp_path / "c").glob("ckpt-*"))
+        assert len(snapshots) == store_mod.CHECKPOINT_KEEP
+        loaded = validate_checkpoint(snapshots[-1])  # checksums intact
+        assert sorted(loaded.iter_digests()) == sorted(_digests(130))
+        store.close()
+
+    def test_adopted_baseline_links_on_the_first_resumed_snapshot(
+            self, tmp_path):
+        store = ShardedStore(shards=4, memory_budget=16,
+                             directory=str(tmp_path / "a"))
+        store.add_batch(_digests(300))
+        first = self._write(tmp_path / "c", store)
+        store.close()
+
+        fresh = ShardedStore(shards=4, memory_budget=16,
+                             directory=str(tmp_path / "b"))
+        ckpt = load_latest_checkpoint(tmp_path / "c")
+        baseline = restore_store(fresh, ckpt)
+        assert baseline == ckpt.path
+        assert len(fresh) == 300
+        assert all(digest in fresh for digest in _digests(300))
+        # The shipped Bloom summaries were loaded verbatim.
+        for shard in range(4):
+            bloom_file = ckpt.path / f"bloom-{shard:04d}.bin"
+            if bloom_file.exists():
+                assert bytes(fresh._bloom[shard]) == bloom_file.read_bytes()
+        second = self._write(tmp_path / "c", fresh, previous=baseline)
+        for name in os.listdir(first):
+            if name.endswith(".bin"):
+                assert (second / name).stat().st_ino == \
+                    (first / name).stat().st_ino
+        fresh.close()
+
+    def test_rebuilt_blooms_match_shipped_summaries(self, tmp_path):
+        """Bitset content is a pure function of the shard's record set —
+        a resume that cannot use the summaries (changed layout) rebuilds
+        byte-identical ones at flush time."""
+        store = ShardedStore(shards=4, directory=str(tmp_path / "a"))
+        store.add_batch(_digests(300))
+        self._write(tmp_path / "c", store)
+        store.close()
+        ckpt = load_latest_checkpoint(tmp_path / "c")
+        rebuilt = ShardedStore(shards=4, directory=str(tmp_path / "b"))
+        rebuilt.preload(ckpt.iter_digests())  # no summaries offered
+        rebuilt.flush()
+        for shard in range(4):
+            bloom_file = ckpt.path / f"bloom-{shard:04d}.bin"
+            if bloom_file.exists():
+                assert bytes(rebuilt._bloom[shard]) == \
+                    bloom_file.read_bytes()
+        rebuilt.close()
+
+
+# ----------------------------------------------------------------------
+# Format-1 checkpoints still resume (migration path)
+# ----------------------------------------------------------------------
+
+def _downconvert_to_format_1(snapshot) -> None:
+    """Rewrite a format-2 snapshot as its format-1 equivalent: ASCII
+    records in one ``states-SSSS.bin`` per shard, no Bloom summaries, no
+    v2 manifest keys — what a pre-bump build would have written."""
+    manifest = json.loads((snapshot / "MANIFEST.json").read_text())
+    assert manifest["format"] == store_mod.CHECKPOINT_FORMAT
+    by_shard: dict[int, list] = {}
+    for name in manifest["record_files"]:
+        shard = int(name.split("-")[1].split(".")[0])
+        by_shard.setdefault(shard, []).append(name)
+    record_files = []
+    files = {"meta.pkl": manifest["files"]["meta.pkl"]}
+    for shard, names in sorted(by_shard.items()):
+        ascii_records = bytearray()
+        for name in sorted(names):
+            packed = (snapshot / name).read_bytes()
+            for off in range(0, len(packed), manifest["record_width"]):
+                record = packed[off:off + manifest["record_width"]]
+                ascii_records += record.hex().encode("ascii")
+            (snapshot / name).unlink()
+        legacy = f"states-{shard:04d}.bin"
+        (snapshot / legacy).write_bytes(ascii_records)
+        record_files.append(legacy)
+        files[legacy] = {"bytes": len(ascii_records),
+                         "blake2b": store_mod._file_digest(snapshot / legacy)}
+    for name in manifest.get("summary_files", []):
+        (snapshot / name).unlink()
+    (snapshot / "MANIFEST.json").write_text(json.dumps({
+        "format": 1,
+        "states": manifest["states"],
+        "record_width": manifest["record_width"] * 2,
+        "record_files": record_files,
+        "store": manifest["store"],
+        "files": files,
+    }, indent=1))
+
+
+class TestFormatMigration:
+    def test_resume_from_format_1_is_bit_identical(
+            self, tmp_path, monkeypatch, serial_ping):
+        scenario = _ping(checkpoint_dir=str(tmp_path / "c"),
+                         checkpoint_interval=60, store="sharded",
+                         store_shards=4, store_memory_budget=32)
+        interrupt_after(monkeypatch, 150)
+        with pytest.raises(Interrupted):
+            nice.run(scenario)
+        monkeypatch.undo()
+        snapshots = sorted((tmp_path / "c").glob("ckpt-*"))
+        _downconvert_to_format_1(snapshots[-1])
+        for stale in snapshots[:-1]:  # leave only the format-1 snapshot
+            import shutil
+            shutil.rmtree(stale)
+        loaded = load_latest_checkpoint(tmp_path / "c")
+        assert loaded.format == 1
+        assert loaded.record_encoding == store_mod.RECORD_ASCII
+        _, stats = nice.resume(tmp_path / "c")
+        assert_matches_serial(stats, serial_ping)
+        # The resumed lineage writes format-2 snapshots from then on.
+        newest = validate_checkpoint(
+            sorted((tmp_path / "c").glob("ckpt-*"))[-1])
+        assert newest.format == store_mod.CHECKPOINT_FORMAT
+        assert newest.record_encoding == store_mod.RECORD_HEX
+
+
+# ----------------------------------------------------------------------
+# Checkpointer counter rollback (satellite: failed writes must not count)
+# ----------------------------------------------------------------------
+
+class TestWriteRollback:
+    def test_failed_snapshot_rolls_back_checkpoints_written(self, tmp_path):
+        config = NiceConfig(checkpoint_dir=str(tmp_path))
+        store = MemoryStore()
+        store.preload(_digests(5))
+        stats = SearchStats()
+        with pytest.warns(RuntimeWarning):
+            checkpointer = Checkpointer(config, None, store, stats)
+
+        def failing_snapshot_into(directory, previous=None):
+            raise OSError("disk full")
+
+        real = store.snapshot_into
+        store.snapshot_into = failing_snapshot_into
+        with pytest.raises(OSError, match="disk full"):
+            checkpointer.write([], None)
+        assert stats.checkpoints_written == 0
+        assert stats.checkpoint_bytes_written == 0
+        store.snapshot_into = real
+        checkpointer.write([], None)
+        assert stats.checkpoints_written == 1
+        assert stats.checkpoint_bytes_written > 0
+
+
+# ----------------------------------------------------------------------
+# Crash-recovery harness: the sharded fast path has a SIGKILL leg
+# ----------------------------------------------------------------------
+
+class TestShardedCrashRecovery:
+    def test_sigkill_then_resume_bit_identical(self, serial_ping, tmp_path):
+        ckpt_dir = crash_run(tmp_path / "ckpt", kill_after_states=150,
+                             checkpoint_interval=60, workers=0,
+                             store="sharded", store_shards=4,
+                             store_memory_budget=32, **KNOBS)
+        _, stats = nice.resume(ckpt_dir)
+        assert stats.store == "sharded"
+        assert_matches_serial(stats, serial_ping)
