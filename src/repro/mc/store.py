@@ -129,6 +129,182 @@ def _encode_digest(digest: str, encoding: str) -> bytes | None:
         return None
 
 
+def pack_digest(digest: str) -> bytes | None:
+    """``digest`` packed the way every Bloom participant packs it (hex
+    digests to raw bytes, anything else to its ASCII bytes), or None
+    when it fits neither (None and empty included).  Callers treat an
+    unpackable digest as definitely-new — which is always safe, just
+    unfiltered."""
+    if not digest:
+        return None
+    if _is_hex(digest):
+        return bytes.fromhex(digest)
+    try:
+        return digest.encode("ascii")
+    except (AttributeError, UnicodeEncodeError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Bloom filters
+# ----------------------------------------------------------------------
+
+class BloomFilter:
+    """A k=2 double-hashed bitset over packed digest records.
+
+    Factored out of ShardedStore's per-shard bitsets so the worker-side
+    dedup pre-filter (wire protocol v4) shares the exact bit layout:
+    sizes round up to a power of two (each probe is a mask, not a
+    modulo) and both probe positions come from record bytes ``[6:14]``
+    — bytes the sharded index prefix does not use, so a prefix
+    collision still gets a real second opinion.  False positives cost
+    time, never correctness; a false negative is impossible for any
+    record whose bits were added.
+    """
+
+    __slots__ = ("bits", "mask", "data")
+
+    def __init__(self, bits: int, data: bytes | bytearray | None = None):
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        m = 1 << max(3, (bits - 1).bit_length())
+        self.bits = m
+        self.mask = m - 1
+        if data is None:
+            self.data = bytearray(m >> 3)
+        else:
+            if len(data) != m >> 3:
+                raise ValueError(
+                    f"bitset is {len(data)} bytes, want {m >> 3}")
+            self.data = bytearray(data)
+
+    def add(self, record: bytes) -> bool:
+        """Set ``record``'s bits; True iff any bit actually changed —
+        the dirty signal the delta broadcast keys off."""
+        data = self.data
+        mask = self.mask
+        b = _from_bytes(record[6:14], "little")
+        b1 = b & mask
+        b2 = (b >> 32) & mask
+        changed = False
+        byte, bit = b1 >> 3, 1 << (b1 & 7)
+        if not data[byte] & bit:
+            data[byte] |= bit
+            changed = True
+        byte, bit = b2 >> 3, 1 << (b2 & 7)
+        if not data[byte] & bit:
+            data[byte] |= bit
+            changed = True
+        return changed
+
+    def add_run(self, view: bytes, width: int) -> None:
+        """Batched ``add`` over a packed run of ``width``-byte records
+        (the store's flush path; no change tracking)."""
+        data = self.data
+        mask = self.mask
+        hi = min(width, 14)
+        for start in range(0, len(view), width):
+            b = _from_bytes(view[start + 6:start + hi], "little")
+            b1 = b & mask
+            b2 = (b >> 32) & mask
+            data[b1 >> 3] |= 1 << (b1 & 7)
+            data[b2 >> 3] |= 1 << (b2 & 7)
+
+    def may_hold(self, record: bytes) -> bool:
+        """False means ``record`` was definitely never added."""
+        data = self.data
+        mask = self.mask
+        b = _from_bytes(record[6:14], "little")
+        b1 = b & mask
+        b2 = (b >> 32) & mask
+        return bool((data[b1 >> 3] >> (b1 & 7)) & 1
+                    and (data[b2 >> 3] >> (b2 & 7)) & 1)
+
+
+class DedupSummary:
+    """Per-shard Bloom filters over *every* digest a store holds — the
+    broadcastable view of the master's explored set behind the
+    worker-side dedup pre-filter (DESIGN.md, "Distributed dedup").
+
+    Sharding follows the store's record-prefix rule (first six record
+    bytes, little-endian, mod ``shards``) purely to keep dirty tracking
+    — and the delta broadcast built on it — per-shard.  Unlike
+    ShardedStore's internal bitsets this summary also covers tail and
+    resident records: it answers "might the master already have this
+    digest?", not "is a disk probe worth it?".
+    """
+
+    def __init__(self, bits: int, shards: int):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        # ``bits`` is the summary's *total* budget, split across shards:
+        # unlike the store's own disk-probe bitsets (sized per shard —
+        # each one gates I/O for its whole shard), the summary crosses
+        # the wire to every worker, so its footprint must stay broadcast
+        # -sized regardless of how finely the store shards.
+        self.filters = [BloomFilter(max(bits // shards, 64))
+                        for _ in range(shards)]
+        #: The configured total (the wire shape identity, cf.
+        #: ``WorkerRuntime.apply_summary``) vs. the actual per-shard
+        #: filter size — BloomFilter rounds to a power of two.
+        self.budget = bits
+        self.bits = self.filters[0].bits
+        self._dirty: set[int] = set()
+
+    def add_record(self, record: bytes, prefix: int | None = None) -> None:
+        if prefix is None:
+            prefix = _from_bytes(record[:6], "little")
+        shard = prefix % self.shards
+        if self.filters[shard].add(record):
+            self._dirty.add(shard)
+
+    def add(self, digest: str) -> None:
+        record = pack_digest(digest)
+        if record is not None:
+            self.add_record(record)
+
+    def probably_contains(self, digest: str) -> bool:
+        """True = the covered store *may* hold ``digest`` (a worker
+        ships a stub); False = it definitely does not (ship in full)."""
+        record = pack_digest(digest)
+        if record is None:
+            return False
+        shard = _from_bytes(record[:6], "little") % self.shards
+        return self.filters[shard].may_hold(record)
+
+    def delta(self) -> list[tuple[int, bytes]]:
+        """``(shard, bitset)`` for every shard that grew since the last
+        call, clearing the dirty set."""
+        dirty = sorted(self._dirty)
+        self._dirty.clear()
+        return [(shard, bytes(self.filters[shard].data))
+                for shard in dirty]
+
+    def apply(self, deltas) -> None:
+        """Install broadcast bitset payloads (worker side): a
+        ``{shard: bitset}`` mapping, ``(shard, bitset)`` pairs — the
+        form :meth:`delta` emits — or ``(shard, offset, chunk)``
+        triples, the size-capped slices the scheduler broadcasts (see
+        ``_Scheduler._summary_for``).  Bits only ever accrete
+        master-side, so wholesale replacement — or splicing a newer
+        slice over an older region — is sound; even an out-of-order
+        stale bitset could only make the worker ship an extra full
+        child or take a hydration round-trip, never lose a state."""
+        entries = deltas.items() if hasattr(deltas, "items") else deltas
+        for entry in entries:
+            if len(entry) == 3:
+                shard, offset, chunk = entry
+                if 0 <= shard < self.shards:
+                    data = self.filters[shard].data
+                    if 0 <= offset and offset + len(chunk) <= len(data):
+                        data[offset:offset + len(chunk)] = chunk
+            else:
+                shard, data = entry
+                if 0 <= shard < self.shards:
+                    self.filters[shard] = BloomFilter(self.bits, data)
+
+
 # ----------------------------------------------------------------------
 # State stores
 # ----------------------------------------------------------------------
@@ -138,6 +314,23 @@ class StateStore:
 
     #: Engine-facing name ("memory" / "sharded"), surfaced in SearchStats.
     kind = "store"
+
+    #: Broadcastable dedup summary behind the worker-side Bloom
+    #: pre-filter; None until the scheduler opts in via enable_summary().
+    _summary: "DedupSummary | None" = None
+
+    def enable_summary(self, bits: int, shards: int) -> None:
+        """Maintain a :class:`DedupSummary` over every digest added from
+        now on.  The scheduler calls this before any resume preload so
+        checkpointed digests are covered too."""
+        self._summary = DedupSummary(bits, shards)
+
+    def bloom_delta(self) -> list[tuple[int, bytes]]:
+        """``(shard, bitset bytes)`` pairs for summary shards that grew
+        since the last call; ``[]`` when no summary is enabled or
+        nothing changed."""
+        summary = self._summary
+        return [] if summary is None else summary.delta()
 
     def add(self, digest: str) -> bool:
         """Record ``digest``; False means it was already present."""
@@ -240,6 +433,8 @@ class MemoryStore(StateStore):
             self._hits += 1
             return False
         self._digests[digest] = None
+        if self._summary is not None:
+            self._summary.add(digest)
         return True
 
     def __contains__(self, digest: str) -> bool:
@@ -360,15 +555,11 @@ class ShardedStore(StateStore):
         # false both before init and in ascii mode.
         self._hexlen = -1
         if bloom_bits:
-            # Power-of-two sizing keeps the probe a mask, not a modulo.
-            m = 1 << max(3, (bloom_bits - 1).bit_length())
-            self.bloom_bits = m
-            self._bloom_mask = m - 1
-            self._bloom: list[bytearray] | None = [
-                bytearray(m >> 3) for _ in range(shards)]
+            self._bloom: list[BloomFilter] | None = [
+                BloomFilter(bloom_bits) for _ in range(shards)]
+            self.bloom_bits = self._bloom[0].bits
         else:
             self.bloom_bits = 0
-            self._bloom_mask = 0
             self._bloom = None
         #: True while preload() replays a checkpoint whose Bloom
         #: summaries were loaded verbatim — flushes skip rebuilding bits
@@ -428,20 +619,11 @@ class ShardedStore(StateStore):
 
     def _bloom_may_hold(self, shard: int, record: bytes) -> bool:
         """False means ``record`` is definitely not among the shard's
-        flushed records (the bitset covers exactly those).  Positions
-        come from record bytes the index prefix does not use, so a
-        prefix collision still gets a real second opinion; k=2 probes
-        via double hashing."""
+        flushed records (the bitset covers exactly those)."""
         bloom = self._bloom
         if bloom is None:
             return True
-        bits = bloom[shard]
-        mask = self._bloom_mask
-        b = _from_bytes(record[6:14], "little")
-        b1 = b & mask
-        b2 = (b >> 32) & mask
-        return bool((bits[b1 >> 3] >> (b1 & 7)) & 1
-                    and (bits[b2 >> 3] >> (b2 & 7)) & 1)
+        return bloom[shard].may_hold(record)
 
     def _probe_records(self, shard: int, slots, record: bytes) -> bool:
         """Compare ``record`` against the candidate slots — in the tail
@@ -542,6 +724,8 @@ class ShardedStore(StateStore):
         tail += record
         self._slots[shard] = slot + 1
         self._count += 1
+        if self._summary is not None:
+            self._summary.add_record(record, prefix)
         resident[digest] = None
         if len(resident) > self.memory_budget:
             del resident[next(iter(resident))]
@@ -562,17 +746,7 @@ class ShardedStore(StateStore):
             # Deferred Bloom maintenance: the bitset covers exactly the
             # flushed records, so the per-record arithmetic runs here in
             # one batched pass over the outgoing run — never on add().
-            bits = bloom[shard]
-            mask = self._bloom_mask
-            width = self._width
-            hi = min(width, 14)
-            view = bytes(tail)
-            for start in range(0, len(view), width):
-                b = _from_bytes(view[start + 6:start + hi], "little")
-                b1 = b & mask
-                b2 = (b >> 32) & mask
-                bits[b1 >> 3] |= 1 << (b1 & 7)
-                bits[b2 >> 3] |= 1 << (b2 & 7)
+            bloom[shard].add_run(bytes(tail), self._width)
         handle = self._files[shard]
         handle.seek(0, io.SEEK_END)
         handle.write(tail)
@@ -596,19 +770,30 @@ class ShardedStore(StateStore):
         hexed = self._encoding == RECORD_HEX
         for shard in range(self.shards):
             handle = self._files[shard]
-            handle.seek(0)
-            remaining = self._flushed[shard]
-            while remaining:
-                data = handle.read(min(chunk_size, remaining))
+            # Snapshot the flushed extent and the tail buffer *together*
+            # before streaming either leg: this is a generator, and a
+            # flush on another code path (a checkpoint mid-iteration)
+            # both moves tail records past the flushed mark and moves
+            # the shared file handle — reading "flushed then tail" live
+            # would skip those records or yield them twice.  The
+            # snapshot pins exactly the records present when the
+            # shard's iteration began, and every read re-seeks to its
+            # own offset so a concurrent append can't hijack the
+            # position.
+            flushed = self._flushed[shard]
+            tail = bytes(self._tails[shard])
+            offset = 0
+            while offset < flushed:
+                handle.seek(offset)
+                data = handle.read(min(chunk_size, flushed - offset))
                 if not data:
                     break
-                remaining -= len(data)
-                for offset in range(0, len(data), width):
-                    record = data[offset:offset + width]
+                offset += len(data)
+                for start in range(0, len(data), width):
+                    record = data[start:start + width]
                     yield record.hex() if hexed else record.decode("ascii")
-            tail = bytes(self._tails[shard])
-            for offset in range(0, len(tail), width):
-                record = tail[offset:offset + width]
+            for start in range(0, len(tail), width):
+                record = tail[start:start + width]
                 yield record.hex() if hexed else record.decode("ascii")
 
     def counters(self) -> dict:
@@ -621,8 +806,14 @@ class ShardedStore(StateStore):
         self._bloom_negatives = 0
 
     def preload(self, digests, summaries=None) -> None:
+        # Bloom disabled (store_bloom_bits=0) is an explicit no-op for
+        # shipped summaries: a resumed bloom-less store must never load
+        # a checkpoint's stale bitsets.  The inverse — bloom enabled,
+        # summary-less snapshot — takes the `summaries is None` path and
+        # rebuilds bitsets at flush time below.
         if summaries is not None and self._bloom is not None:
-            loaded = [bytearray(self.bloom_bits >> 3)
+            expected = self.bloom_bits >> 3
+            loaded = [BloomFilter(self.bloom_bits)
                       for _ in range(self.shards)]
             usable = True
             for shard, path in summaries:
@@ -631,10 +822,10 @@ class ShardedStore(StateStore):
                 except OSError:
                     usable = False
                     break
-                if shard >= self.shards or len(data) != len(loaded[shard]):
+                if shard >= self.shards or len(data) != expected:
                     usable = False
                     break
-                loaded[shard] = bytearray(data)
+                loaded[shard] = BloomFilter(self.bloom_bits, data)
             if usable:
                 # The shipped summaries cover every checkpointed record,
                 # so the replay below skips rebuilding bits at flush
@@ -739,7 +930,7 @@ class ShardedStore(StateStore):
                             pass
                 if not linked:
                     (directory / bloom_name).write_bytes(
-                        bytes(self._bloom[shard]))
+                        bytes(self._bloom[shard].data))
                 summary_names.append(bloom_name)
                 pending_bloom.append(bloom_name)
         self._pending_segments = pending
@@ -822,7 +1013,7 @@ class ShardedStore(StateStore):
                 info = checkpoint.file_info.get(path.name)
                 if shard is None or shard >= self.shards or info is None:
                     continue
-                if info["bytes"] == len(self._bloom[shard]):
+                if info["bytes"] == len(self._bloom[shard].data):
                     self._bloom_info[path.name] = info
         return True
 
@@ -930,7 +1121,12 @@ def _compatible_summaries(store: StateStore, checkpoint: Checkpoint):
     """The checkpoint's ``(shard, path)`` Bloom files, iff they describe
     this store's exact shard layout and bitset size — a bitset for a
     different sharding would answer false negatives, which (unlike false
-    positives) would corrupt dedup."""
+    positives) would corrupt dedup.
+
+    Both resume mismatch directions return None on purpose: a bloom-less
+    snapshot resumed with bloom enabled rebuilds bitsets at flush time,
+    and a bloom-carrying snapshot resumed with ``store_bloom_bits=0``
+    (or any other bitset/shard shape) ignores the stale files."""
     if not checkpoint.summary_files or not isinstance(store, ShardedStore):
         return None
     if store._bloom is None:

@@ -32,7 +32,7 @@ from multiprocessing import connection as mp_connection
 
 from repro.mc import worker as worker_mod
 from repro.mc.transport import Transport, WorkerLost
-from repro.mc.wire import ExpandTask, Shutdown, WorkerError, WorkerGone
+from repro.mc.wire import Shutdown, WorkerError, WorkerGone
 from repro.mc.worker import local_worker_main
 
 
@@ -117,14 +117,14 @@ class LocalTransport(Transport):
                 worker_mod._INHERITED_SEARCHER = None
         return worker_id
 
-    def submit(self, worker_id: int, task: ExpandTask) -> None:
+    def submit(self, worker_id: int, message) -> None:
         if worker_id not in self._result_conns:
             raise WorkerLost(worker_id, "already reported dead")
         process = self._processes[worker_id]
         if not process.is_alive():
             raise WorkerLost(worker_id,
                              f"process exited with code {process.exitcode}")
-        self._task_queues[worker_id].put(task)
+        self._task_queues[worker_id].put(message)
 
     def recv(self, timeout: float | None = None):
         deadline = None if timeout is None else time.monotonic() + timeout

@@ -44,7 +44,6 @@ import repro
 from repro.mc.transport import Transport, TransportError, WorkerLost
 from repro.mc.wire import (
     PROTOCOL_VERSION,
-    ExpandTask,
     Hello,
     InitWorker,
     Shutdown,
@@ -70,6 +69,10 @@ def parse_address(address: str) -> tuple[str, int]:
 
 class SocketTransport(Transport):
     """Master side of the TCP worker protocol."""
+
+    #: Bloom summaries go out as standalone framed messages, not
+    #: piggy-backed on tasks (see the base class attribute).
+    summary_push = True
 
     #: Seconds to wait for all *initial* workers to connect before giving
     #: up on the run (elastic joiners can arrive any time after that).
@@ -320,19 +323,19 @@ class SocketTransport(Transport):
                                f" {index}:\n{stderr}")
         return reason
 
-    def submit(self, worker_id: int, task: ExpandTask) -> None:
+    def submit(self, worker_id: int, message) -> None:
         connection = self._connections.get(worker_id)
         if connection is None:
             raise WorkerLost(worker_id, "connection already closed")
         try:
-            send_msg(connection, task)
+            send_msg(connection, message)
         except OSError as exc:
             # The reader thread will post the authoritative WorkerGone;
             # failing the submit lets the scheduler requeue this task now.
             raise WorkerLost(
                 worker_id,
-                f"connection lost while submitting task {task.task_id}:"
-                f" {exc}") from exc
+                f"connection lost while submitting"
+                f" {type(message).__name__}: {exc}") from exc
 
     def recv(self, timeout: float | None = None):
         try:

@@ -171,9 +171,9 @@ class TestBloom:
         probes stay in memory."""
         store = ShardedStore(shards=1, directory=str(tmp_path / "s"))
         store.add(_hex(1))
-        assert not any(store._bloom[0])  # nothing flushed, no bits
+        assert not any(store._bloom[0].data)  # nothing flushed, no bits
         store.flush()
-        assert any(store._bloom[0])
+        assert any(store._bloom[0].data)
         store.close()
 
 
@@ -278,7 +278,8 @@ class TestCompaction:
         for shard in range(4):
             bloom_file = ckpt.path / f"bloom-{shard:04d}.bin"
             if bloom_file.exists():
-                assert bytes(fresh._bloom[shard]) == bloom_file.read_bytes()
+                assert bytes(fresh._bloom[shard].data) == \
+                    bloom_file.read_bytes()
         second = self._write(tmp_path / "c", fresh, previous=baseline)
         for name in os.listdir(first):
             if name.endswith(".bin"):
@@ -301,9 +302,106 @@ class TestCompaction:
         for shard in range(4):
             bloom_file = ckpt.path / f"bloom-{shard:04d}.bin"
             if bloom_file.exists():
-                assert bytes(rebuilt._bloom[shard]) == \
+                assert bytes(rebuilt._bloom[shard].data) == \
                     bloom_file.read_bytes()
         rebuilt.close()
+
+
+# ----------------------------------------------------------------------
+# digests() under a concurrent flush (ISSUE 10 regression)
+# ----------------------------------------------------------------------
+
+class TestDigestsMidFlush:
+    def test_flush_mid_iteration_neither_skips_nor_repeats(self, tmp_path):
+        """A checkpoint can flush the tails while ``digests()`` streams
+        (the frontier serializer iterates the store the snapshot is
+        about to pin): the iteration must still yield exactly the
+        records present when the shard's walk began — reading the
+        flushed extent and tail live would skip the migrated tail
+        records or yield them twice."""
+        store = ShardedStore(shards=1, directory=str(tmp_path / "s"))
+        store.add_batch(_digests(50))
+        store.flush()
+        store.add_batch([_hex(i) for i in range(50, 100)])  # tail only
+        walker = store.digests()
+        seen = [next(walker) for _ in range(10)]  # mid-flushed-leg
+        store.flush()  # moves the tail past the flushed mark
+        seen.extend(walker)
+        assert sorted(seen) == sorted(_digests(100))
+        store.close()
+
+    def test_appends_during_iteration_do_not_corrupt_the_walk(
+            self, tmp_path):
+        """New digests added mid-iteration may or may not appear (the
+        walk pins each shard as it reaches it), but the pinned records
+        must come back exactly once even though appends move the shared
+        file handle."""
+        store = ShardedStore(shards=1, directory=str(tmp_path / "s"))
+        store.add_batch(_digests(80))
+        store.flush()
+        walker = store.digests()
+        seen = [next(walker) for _ in range(5)]
+        store.add_batch([_hex(i) for i in range(80, 90)])
+        store.flush()
+        seen.extend(walker)
+        assert sorted(seen) == sorted(_digests(80))
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Resume across Bloom knob changes (ISSUE 10 bugfix)
+# ----------------------------------------------------------------------
+
+class TestBloomKnobResume:
+    def _write(self, root, store):
+        return write_checkpoint(
+            root, spec=None,
+            config=NiceConfig(checkpoint_dir=str(root), store_shards=4),
+            stats=SearchStats(), frontier=[], rng_state=None, store=store)
+
+    def test_bloom_checkpoint_resumes_with_bloom_disabled(self, tmp_path):
+        """``--store-bloom-bits 0`` resuming a bloom-carrying snapshot
+        must ignore the stale bitsets entirely, not load or consult
+        them."""
+        store = ShardedStore(shards=4, bloom_bits=1 << 10,
+                             directory=str(tmp_path / "a"))
+        store.add_batch(_digests(200))
+        self._write(tmp_path / "c", store)
+        store.close()
+        ckpt = load_latest_checkpoint(tmp_path / "c")
+        assert ckpt.summary_files  # the snapshot does carry bitsets
+        fresh = ShardedStore(shards=4, bloom_bits=0,
+                             directory=str(tmp_path / "b"))
+        restore_store(fresh, ckpt)
+        assert fresh._bloom is None  # no stale bitsets adopted
+        assert len(fresh) == 200
+        assert all(digest in fresh for digest in _digests(200))
+        assert _hex(10_000) not in fresh  # exact probes, no filter
+        fresh.close()
+
+    def test_bloomless_checkpoint_resumes_with_bloom_enabled(
+            self, tmp_path):
+        """The inverse direction: a summary-less snapshot resumed with
+        bloom enabled rebuilds bitsets from the records at flush time —
+        byte-identical to a store that grew the same records natively."""
+        store = ShardedStore(shards=4, bloom_bits=0,
+                             directory=str(tmp_path / "a"))
+        store.add_batch(_digests(200))
+        self._write(tmp_path / "c", store)
+        store.close()
+        ckpt = load_latest_checkpoint(tmp_path / "c")
+        assert not ckpt.summary_files
+        fresh = ShardedStore(shards=4, directory=str(tmp_path / "b"))
+        restore_store(fresh, ckpt)
+        fresh.flush()
+        native = ShardedStore(shards=4, directory=str(tmp_path / "n"))
+        native.add_batch(_digests(200))
+        native.flush()
+        for shard in range(4):
+            assert bytes(fresh._bloom[shard].data) == \
+                bytes(native._bloom[shard].data)
+        fresh.close()
+        native.close()
 
 
 # ----------------------------------------------------------------------
